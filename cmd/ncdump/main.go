@@ -1,0 +1,130 @@
+// Command ncdump prints the header of a file in the repository's
+// netCDF-like or hdf5lite format — dimensions, variables, attributes,
+// chunking, and compression — reading only the header bytes, like the
+// real ncdump -h.
+//
+// Usage:
+//
+//	ncdump [-chunks] file.nc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scidp/internal/hdf5lite"
+	"scidp/internal/netcdf"
+	"scidp/internal/scifmt"
+)
+
+func main() {
+	chunks := flag.Bool("chunks", false, "also print the per-chunk index")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ncdump [-chunks] <file>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ncdump: %v\n", err)
+		os.Exit(1)
+	}
+	r := netcdf.BytesReader(data)
+	switch {
+	case netcdf.Detect(r):
+		dumpNetCDF(flag.Arg(0), r, *chunks)
+	case hdf5lite.IsHDF5(r):
+		dumpHDF5(flag.Arg(0), r, *chunks)
+	default:
+		fmt.Fprintf(os.Stderr, "ncdump: %s: not a recognized scientific format\n", flag.Arg(0))
+		os.Exit(1)
+	}
+}
+
+func dumpNetCDF(name string, r netcdf.ReaderAt, chunks bool) {
+	f, err := netcdf.Open(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ncdump: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("netcdf %s {\n", name)
+	fmt.Println("dimensions:")
+	for _, d := range f.Dims() {
+		fmt.Printf("\t%s = %d ;\n", d.Name, d.Len)
+	}
+	fmt.Println("variables:")
+	for _, v := range f.Vars() {
+		fmt.Printf("\t%s %s(", v.Type, v.Name)
+		for i, d := range v.Dims {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(d.Name)
+		}
+		fmt.Println(") ;")
+		for _, a := range v.Attrs {
+			fmt.Printf("\t\t%s:%s = %s ;\n", v.Name, a.Name, attrValue(a))
+		}
+		if v.ChunkShape != nil {
+			fmt.Printf("\t\t%s:_ChunkShape = %v ; _Deflate = %d ;\n", v.Name, v.ChunkShape, v.Deflate)
+		}
+		fmt.Printf("\t\t%s:_Storage = raw %d B, stored %d B (%d chunks)\n",
+			v.Name, v.RawBytes(), v.StoredBytes(), len(v.Chunks))
+		if chunks {
+			for i, c := range v.Chunks {
+				fmt.Printf("\t\t  chunk %d: index=%v offset=%d stored=%d raw=%d\n",
+					i, c.Index, c.Offset, c.StoredSize, c.RawSize)
+			}
+		}
+	}
+	fmt.Println("// global attributes:")
+	for _, a := range f.GlobalAttrs() {
+		fmt.Printf("\t\t:%s = %s ;\n", a.Name, attrValue(a))
+	}
+	fmt.Printf("}\n// header: %d bytes of %d\n", f.HeaderBytes, r.Size())
+}
+
+func attrValue(a netcdf.Attr) string {
+	switch a.Kind {
+	case netcdf.AttrString:
+		return fmt.Sprintf("%q", a.Str)
+	case netcdf.AttrFloat64:
+		return fmt.Sprintf("%g", a.F64)
+	case netcdf.AttrInt64:
+		return fmt.Sprintf("%d", a.I64)
+	}
+	return "?"
+}
+
+func dumpHDF5(name string, r scifmt.ReaderAt, chunks bool) {
+	f, err := hdf5lite.Open(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ncdump: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("hdf5 %s {\n", name)
+	var walk func(g *hdf5lite.Group, indent string)
+	walk = func(g *hdf5lite.Group, indent string) {
+		for k, v := range g.Attrs {
+			fmt.Printf("%s:%s = %q ;\n", indent, k, v)
+		}
+		for _, d := range g.Datasets {
+			fmt.Printf("%s%s %s%v chunkRows=%d deflate=%d (%d chunks, raw %d B, stored %d B)\n",
+				indent, d.Type, d.Name, d.Shape, d.ChunkRows, d.Deflate, len(d.Chunks), d.RawBytes(), d.StoredBytes())
+			if chunks {
+				for i, c := range d.Chunks {
+					fmt.Printf("%s  chunk %d: rows [%d,+%d) offset=%d stored=%d\n",
+						indent, i, c.RowStart, c.Rows, c.Offset, c.StoredSize)
+				}
+			}
+		}
+		for _, c := range g.Children {
+			fmt.Printf("%sgroup %s {\n", indent, c.Name)
+			walk(c, indent+"\t")
+			fmt.Printf("%s}\n", indent)
+		}
+	}
+	walk(f.Root(), "\t")
+	fmt.Printf("}\n// header: %d bytes of %d\n", f.HeaderBytes, r.Size())
+}

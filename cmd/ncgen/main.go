@@ -1,0 +1,57 @@
+// Command ncgen generates synthetic NU-WRF output files in the
+// repository's netCDF-like format — the data generator the benchmarks
+// feed their simulated PFS with, usable standalone to produce files on
+// the local file system.
+//
+// Usage:
+//
+//	ncgen [-out dir] [-timestamps n] [-levels n] [-lat n] [-lon n] [-vars n] [-deflate 0..9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"scidp/internal/workloads"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	timestamps := flag.Int("timestamps", 4, "number of output files (one per timestamp)")
+	levels := flag.Int("levels", 10, "vertical levels per variable")
+	lat := flag.Int("lat", 40, "latitude cells")
+	lon := flag.Int("lon", 40, "longitude cells")
+	vars := flag.Int("vars", workloads.NUWRFVars, "variables per file")
+	deflate := flag.Int("deflate", 1, "DEFLATE level (0 disables compression)")
+	seed := flag.Int64("seed", 0, "field perturbation seed")
+	flag.Parse()
+
+	spec := workloads.NUWRFSpec{
+		Timestamps: *timestamps,
+		Levels:     *levels, Lat: *lat, Lon: *lon,
+		Vars: *vars, Deflate: *deflate, Seed: *seed,
+		Dir: "/",
+	}
+	blobs, ds, err := workloads.GenerateBlobs(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ncgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "ncgen: %v\n", err)
+		os.Exit(1)
+	}
+	for _, pfsPath := range ds.Files {
+		name := filepath.Base(pfsPath)
+		dst := filepath.Join(*out, name)
+		if err := os.WriteFile(dst, blobs[pfsPath], 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ncgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", dst, len(blobs[pfsPath]))
+	}
+	fmt.Printf("dataset: %d files, %d vars, raw %d B/var, stored %d B/var (%.2fx compression)\n",
+		len(ds.Files), spec.Vars, ds.VarRawBytes, ds.VarStoredBytes, ds.CompressionRatio())
+}

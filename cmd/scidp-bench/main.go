@@ -1,0 +1,121 @@
+// Command scidp-bench regenerates the SciDP paper's evaluation tables and
+// figures on the simulated testbed.
+//
+// Usage:
+//
+//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|ablations] [-quick]
+//
+// -quick runs a reduced geometry and smaller sweeps (seconds instead of
+// minutes). Output is one aligned text table per experiment, with paper
+// expectations in the notes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scidp/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, workflow, ablations)")
+	quick := flag.Bool("quick", false, "reduced geometry and sweep sizes")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
+	flag.Parse()
+
+	scale := bench.DefaultScale()
+	fig5Sizes := []int{96, 192, 384, 768}
+	fig6Readers := []int{1, 2, 4, 8, 16, 32, 64}
+	fig6Steps := 64
+	fig7Size := 384
+	fig8Size := 384
+	fig8Nodes := []int{4, 8, 16}
+	fig9Sizes := []int{96, 192, 384, 768}
+	ablSize := 96
+	wfSize, wfCompute := 192, 120.0
+	if *quick {
+		scale = bench.QuickScale()
+		fig5Sizes = []int{8, 16}
+		fig6Readers = []int{1, 4, 16, 64}
+		fig6Steps = 32
+		fig7Size = 16
+		fig8Size = 64
+		fig9Sizes = []int{8, 16}
+		ablSize = 8
+		wfSize, wfCompute = 8, 30.0
+	}
+
+	emit := func(t *bench.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scidp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Println(t.Markdown())
+			return
+		}
+		fmt.Println(t.String())
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table1") {
+		emit(bench.Table1(), nil)
+		ran = true
+	}
+	if want("table2") {
+		emit(bench.Table2(), nil)
+		ran = true
+	}
+	if want("fig2") {
+		emit(bench.Fig2())
+		ran = true
+	}
+	if want("fig5") || want("table3") {
+		r, err := bench.RunFig5(scale, fig5Sizes)
+		if err != nil {
+			emit(nil, err)
+		}
+		if want("fig5") {
+			emit(bench.Fig5Table(r), nil)
+		}
+		if want("table3") {
+			emit(bench.Table3(r), nil)
+		}
+		ran = true
+	}
+	if want("fig6") {
+		emit(bench.Fig6(scale, fig6Steps, fig6Readers))
+		ran = true
+	}
+	if want("fig7") {
+		emit(bench.Fig7(scale, fig7Size))
+		ran = true
+	}
+	if want("fig8") {
+		emit(bench.Fig8(scale, fig8Size, fig8Nodes))
+		emit(bench.Fig8ScaleUp(scale, fig8Size, []int{4, 8, 16}))
+		ran = true
+	}
+	if want("fig9") {
+		emit(bench.Fig9(scale, fig9Sizes))
+		ran = true
+	}
+	if want("workflow") {
+		emit(bench.Workflow(scale, wfSize, wfCompute))
+		ran = true
+	}
+	if want("ablations") {
+		emit(bench.AblationBlockGranularity(scale, ablSize))
+		emit(bench.AblationVariableSubsetting(scale, ablSize))
+		emit(bench.AblationWholeBlockRead(scale))
+		emit(bench.AblationOverlap(scale, ablSize))
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, workflow, ablations)\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,3 @@
+module scidp
+
+go 1.23

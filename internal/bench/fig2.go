@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+
+	"scidp/internal/cluster"
+	"scidp/internal/hdfs"
+	"scidp/internal/pfs"
+	"scidp/internal/sim"
+	"scidp/internal/workloads"
+)
+
+// fig2ByteScale is the scale factor for the Figure 2 rigs: each actual
+// byte stands for this many logical bytes.
+const fig2ByteScale = 4096
+
+// fig2Rig builds one backend's testbed matching the paper's Figure 2
+// setup: 8 Hadoop nodes, 8 OSTs, Lustre stripe count 8 with stripe size
+// set to the HDFS block size, replication 1.
+type fig2Rig struct {
+	k  *sim.Kernel
+	cl *cluster.Cluster
+	be workloads.Backend
+}
+
+func newFig2Rig(lustre bool) *fig2Rig {
+	k := sim.NewKernel()
+	cl := cluster.New(k, "bd", cluster.DefaultHardware(8, 8).Scaled(fig2ByteScale))
+	blockSize := int64(128 << 20 / fig2ByteScale)
+	if lustre {
+		pcfg := pfs.DefaultConfig().Scaled(fig2ByteScale)
+		pcfg.OSSCount, pcfg.OSTsPerOSS = 2, 4 // 8 OSTs, as in the paper's Figure 2
+		pcfg.DefaultStripeCount = 8
+		pcfg.DefaultStripeSize = blockSize // "large stripe size as the block size in HDFS"
+		fs := pfs.New(k, pcfg)
+		return &fig2Rig{k: k, cl: cl, be: &workloads.LustreBackend{
+			FS:          fs,
+			MountFor:    func(n *cluster.Node) *pfs.Client { return fs.NewClient(cl.Fabric, n.NIC) },
+			SetupClient: fs.NewClient(),
+		}}
+	}
+	hcfg := hdfs.DefaultConfig()
+	hcfg.BlockSize = blockSize
+	hcfg.Replication = 1 // "We change the replication factor to one"
+	return &fig2Rig{k: k, cl: cl, be: &workloads.HDFSBackend{FS: hdfs.New(k, cl, hcfg)}}
+}
+
+// fig2Config sizes the workloads: 16 files of 128 logical MB each.
+func fig2Config() workloads.MiniConfig {
+	return workloads.MiniConfig{
+		Files:       16,
+		FileBytes:   128 << 20 / fig2ByteScale,
+		SplitSize:   128 << 20 / fig2ByteScale,
+		TaskStartup: 1.0,
+		ScanPerMB:   0.01 * fig2ByteScale / 1e0, // 0.01 s per logical MB
+	}
+}
+
+// runFig2Workload runs one named workload on one backend and returns its
+// virtual seconds.
+func runFig2Workload(name string, lustre bool) (float64, error) {
+	rig := newFig2Rig(lustre)
+	cfg := fig2Config()
+	var seconds float64
+	var err error
+	rig.k.Go("driver", func(p *sim.Proc) {
+		var res workloads.MiniResult
+		switch name {
+		case "TeraSort":
+			in := workloads.InstallTextInputs(rig.be, cfg, "sortme")
+			res, err = workloads.RunTeraSort(p, rig.cl, rig.be, cfg, in, 8)
+		case "Grep":
+			in := workloads.InstallTextInputs(rig.be, cfg, "needle")
+			res, err = workloads.RunGrep(p, rig.cl, rig.be, cfg, in, "needle")
+		case "TestDFSIO-write":
+			res, err = workloads.RunTestDFSIOWrite(p, rig.cl, rig.be, cfg)
+		case "TestDFSIO-read":
+			if _, err = workloads.RunTestDFSIOWrite(p, rig.cl, rig.be, cfg); err != nil {
+				return
+			}
+			res, err = workloads.RunTestDFSIORead(p, rig.cl, rig.be, cfg)
+		default:
+			err = fmt.Errorf("bench: unknown fig2 workload %q", name)
+		}
+		seconds = res.Seconds
+	})
+	rig.k.Run()
+	return seconds, err
+}
+
+// Fig2Workloads are the paper's three benchmarks (DFSIO split into its
+// write and read phases).
+var Fig2Workloads = []string{"TeraSort", "Grep", "TestDFSIO-write", "TestDFSIO-read"}
+
+// Fig2 compares native HDFS against the Lustre HDFS connector on the
+// three Hadoop benchmarks. The paper measures native HDFS 221% faster on
+// average.
+func Fig2() (*Table, error) {
+	t := &Table{
+		ID:     "Figure 2",
+		Title:  "Performance comparison between Lustre (HDFS connector) and native HDFS",
+		Header: []string{"workload", "HDFS(s)", "Lustre(s)", "HDFS advantage"},
+	}
+	var sumAdv float64
+	var n int
+	for _, w := range Fig2Workloads {
+		hd, err := runFig2Workload(w, false)
+		if err != nil {
+			return nil, err
+		}
+		lu, err := runFig2Workload(w, true)
+		if err != nil {
+			return nil, err
+		}
+		adv := lu / hd
+		sumAdv += adv
+		n++
+		t.AddRow(w, secs(hd), secs(lu), ratio(adv))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("average HDFS advantage: %.0f%% (paper: native HDFS outperforms Lustre by 221%% on average)", (sumAdv/float64(n))*100),
+		"8 Hadoop nodes, 8 OSTs, stripe count 8, stripe size = HDFS block size, replication 1")
+	return t, nil
+}

@@ -1,0 +1,161 @@
+// Package cluster models the hardware the SciDP paper runs on: compute
+// nodes with a local disk, a NIC, and a bounded number of task slots,
+// joined by a switch fabric. Two builders produce the paper's two-cluster
+// deployment (Figure 1(c)): an HPC cluster whose storage is a remote
+// parallel file system, and a big-data (Hadoop) cluster whose storage is
+// node-local disks, with a shared inter-cluster link between them.
+package cluster
+
+import (
+	"fmt"
+
+	"scidp/internal/sim"
+)
+
+// Node is one machine: local disk, network interface, and execution slots.
+type Node struct {
+	// Name identifies the node (e.g. "bd-3", "oss-1").
+	Name string
+	// Disk is the node's local storage bandwidth resource.
+	Disk *sim.Resource
+	// NIC is the node's network interface resource.
+	NIC *sim.Resource
+	// Slots bounds concurrently running tasks on the node (YARN
+	// containers, MPI ranks). Nil for storage-only nodes.
+	Slots *sim.Semaphore
+}
+
+// Cluster is a named set of nodes connected by one switch fabric.
+type Cluster struct {
+	// Name identifies the cluster ("hpc", "bd").
+	Name string
+	// Nodes are the member machines in stable order.
+	Nodes []*Node
+	// Fabric is the shared intra-cluster switching capacity every
+	// cross-node transfer traverses.
+	Fabric *sim.Resource
+}
+
+// Config carries the hardware constants for building a cluster. The zero
+// value is unusable; start from DefaultHardware and adjust.
+type Config struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// SlotsPerNode is the task-slot count per node (the paper runs 8
+	// tasks per Hadoop node).
+	SlotsPerNode int
+	// DiskBW is per-node local disk bandwidth, bytes/second.
+	DiskBW float64
+	// DiskLatency is the per-operation seek/setup delay, seconds.
+	DiskLatency float64
+	// NICBW is per-node network interface bandwidth, bytes/second.
+	NICBW float64
+	// NetLatency is the per-operation network round-trip charge, seconds.
+	NetLatency float64
+	// FabricBW is the cluster switch's aggregate capacity, bytes/second.
+	FabricBW float64
+}
+
+// DefaultHardware mirrors the paper's Chameleon testbed: 250 GB 7200 RPM
+// SATA disks (~100 MB/s), 10 GbE NICs, and a fabric provisioned at half of
+// the sum of NIC bandwidth for eight nodes.
+func DefaultHardware(nodes, slotsPerNode int) Config {
+	return Config{
+		Nodes:        nodes,
+		SlotsPerNode: slotsPerNode,
+		DiskBW:       100e6,
+		DiskLatency:  0.004,
+		NICBW:        1.25e9,
+		NetLatency:   0.0002,
+		FabricBW:     float64(nodes) * 1.25e9 / 2,
+	}
+}
+
+// Scaled returns a copy of c with every bandwidth divided by factor.
+// Latencies and slot counts are untouched. Experiments run on data scaled
+// down by the same factor, so virtual times stay at paper scale while the
+// working set fits in memory.
+func (c Config) Scaled(factor float64) Config {
+	if factor <= 0 {
+		panic("cluster: scale factor must be positive")
+	}
+	c.DiskBW /= factor
+	c.NICBW /= factor
+	c.FabricBW /= factor
+	return c
+}
+
+// New builds a cluster from the config on the given kernel.
+func New(k *sim.Kernel, name string, c Config) *Cluster {
+	if c.Nodes <= 0 {
+		panic("cluster: need at least one node")
+	}
+	cl := &Cluster{
+		Name:   name,
+		Fabric: sim.NewResource(name+"/fabric", c.FabricBW),
+	}
+	for i := 0; i < c.Nodes; i++ {
+		n := &Node{Name: fmt.Sprintf("%s-%d", name, i)}
+		n.Disk = sim.NewResource(n.Name+"/disk", c.DiskBW)
+		n.Disk.Latency = c.DiskLatency
+		n.NIC = sim.NewResource(n.Name+"/nic", c.NICBW)
+		n.NIC.Latency = c.NetLatency
+		if c.SlotsPerNode > 0 {
+			n.Slots = k.NewSemaphore(c.SlotsPerNode)
+		}
+		cl.Nodes = append(cl.Nodes, n)
+	}
+	return cl
+}
+
+// Node returns the i-th node.
+func (c *Cluster) Node(i int) *Node { return c.Nodes[i] }
+
+// Lookup returns the node with the given name, or nil.
+func (c *Cluster) Lookup(name string) *Node {
+	for _, n := range c.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// LocalReadPath is the resource chain for reading a node's own disk.
+func LocalReadPath(n *Node) []*sim.Resource { return []*sim.Resource{n.Disk} }
+
+// LocalWritePath is the resource chain for writing a node's own disk.
+func LocalWritePath(n *Node) []*sim.Resource { return []*sim.Resource{n.Disk} }
+
+// RemoteReadPath is the chain for dst pulling bytes off src's disk across
+// the fabric: source disk, source NIC, fabric, destination NIC.
+func (c *Cluster) RemoteReadPath(src, dst *Node) []*sim.Resource {
+	return []*sim.Resource{src.Disk, src.NIC, c.Fabric, dst.NIC}
+}
+
+// NetPath is the chain for a memory-to-memory transfer between two nodes
+// of this cluster (no disk on either end).
+func (c *Cluster) NetPath(src, dst *Node) []*sim.Resource {
+	return []*sim.Resource{src.NIC, c.Fabric, dst.NIC}
+}
+
+// Interlink joins two clusters with a shared cross-cluster link of the
+// given bandwidth — the paper's path between the Lustre storage nodes and
+// the Hadoop nodes.
+type Interlink struct {
+	// Link is the shared cross-cluster capacity.
+	Link *sim.Resource
+}
+
+// NewInterlink creates a cross-cluster link.
+func NewInterlink(bw float64, latency float64) *Interlink {
+	r := sim.NewResource("interlink", bw)
+	r.Latency = latency
+	return &Interlink{Link: r}
+}
+
+// Path is the chain for moving bytes from src (in one cluster) to dst (in
+// the other) without touching disks: NICs plus the shared link.
+func (il *Interlink) Path(src, dst *Node) []*sim.Resource {
+	return []*sim.Resource{src.NIC, il.Link, dst.NIC}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"scidp/internal/sim"
+)
+
+func TestNewClusterShape(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultHardware(8, 8)
+	cl := New(k, "bd", cfg)
+	if len(cl.Nodes) != 8 {
+		t.Fatalf("nodes = %d, want 8", len(cl.Nodes))
+	}
+	for i, n := range cl.Nodes {
+		if n.Slots == nil || n.Slots.Capacity() != 8 {
+			t.Errorf("node %d slots wrong", i)
+		}
+		if n.Disk.Capacity != 100e6 {
+			t.Errorf("node %d disk bw = %v", i, n.Disk.Capacity)
+		}
+	}
+	if cl.Lookup("bd-3") != cl.Node(3) {
+		t.Error("Lookup(bd-3) != Node(3)")
+	}
+	if cl.Lookup("nope") != nil {
+		t.Error("Lookup of missing node should be nil")
+	}
+}
+
+func TestStorageOnlyNodesHaveNoSlots(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultHardware(3, 0)
+	cl := New(k, "oss", cfg)
+	for _, n := range cl.Nodes {
+		if n.Slots != nil {
+			t.Errorf("storage node %s should have nil slots", n.Name)
+		}
+	}
+}
+
+func TestScaledDividesBandwidthOnly(t *testing.T) {
+	cfg := DefaultHardware(4, 8)
+	s := cfg.Scaled(10)
+	if s.DiskBW != cfg.DiskBW/10 || s.NICBW != cfg.NICBW/10 || s.FabricBW != cfg.FabricBW/10 {
+		t.Error("Scaled must divide every bandwidth by the factor")
+	}
+	if s.DiskLatency != cfg.DiskLatency || s.NetLatency != cfg.NetLatency {
+		t.Error("Scaled must not change latencies")
+	}
+	if s.SlotsPerNode != cfg.SlotsPerNode || s.Nodes != cfg.Nodes {
+		t.Error("Scaled must not change counts")
+	}
+}
+
+func TestScaledRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scaled(0) should panic")
+		}
+	}()
+	DefaultHardware(1, 1).Scaled(0)
+}
+
+func TestLocalVersusRemoteReadTime(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := Config{Nodes: 2, SlotsPerNode: 1, DiskBW: 100, NICBW: 1000, FabricBW: 1000}
+	cl := New(k, "bd", cfg)
+	var local, remote float64
+	k.Go("local", func(p *sim.Proc) {
+		p.Transfer(100, LocalReadPath(cl.Node(0))...)
+		local = p.Now()
+	})
+	k.Run()
+	k2 := sim.NewKernel()
+	cl2 := New(k2, "bd", cfg)
+	k2.Go("remote", func(p *sim.Proc) {
+		p.Transfer(100, cl2.RemoteReadPath(cl2.Node(1), cl2.Node(0))...)
+		remote = p.Now()
+	})
+	k2.Run()
+	if local <= 0 || remote < local {
+		t.Fatalf("remote read (%v) should not beat local read (%v)", remote, local)
+	}
+}
+
+func TestFabricContention(t *testing.T) {
+	// Two cross-node transfers sharing a fabric slower than the NIC sum
+	// must take longer than one alone.
+	cfg := Config{Nodes: 4, SlotsPerNode: 1, DiskBW: 1e9, NICBW: 1000, FabricBW: 1000}
+	solo := func(n int) float64 {
+		k := sim.NewKernel()
+		cl := New(k, "bd", cfg)
+		var last float64
+		for i := 0; i < n; i++ {
+			src, dst := cl.Node(i*2), cl.Node(i*2+1)
+			k.Go("t", func(p *sim.Proc) {
+				p.Transfer(1000, cl.NetPath(src, dst)...)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		k.Run()
+		return last
+	}
+	one, two := solo(1), solo(2)
+	if two < 1.9*one {
+		t.Fatalf("fabric contention missing: 1 flow %v, 2 flows %v", one, two)
+	}
+}
+
+func TestInterlinkShared(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := Config{Nodes: 2, SlotsPerNode: 1, DiskBW: 1e9, NICBW: 1e9, FabricBW: 1e9}
+	hpc := New(k, "hpc", cfg)
+	bd := New(k, "bd", cfg)
+	il := NewInterlink(1000, 0)
+	var ends []float64
+	for i := 0; i < 2; i++ {
+		src, dst := hpc.Node(i), bd.Node(i)
+		k.Go("x", func(p *sim.Proc) {
+			p.Transfer(1000, il.Path(src, dst)...)
+			ends = append(ends, p.Now())
+		})
+	}
+	k.Run()
+	for _, e := range ends {
+		if math.Abs(e-2.0) > 1e-6 {
+			t.Fatalf("shared interlink: end %v, want 2.0", e)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package core implements SciDP itself — the paper's contribution
+// (Section III). Three components cooperate to let a Hadoop-style engine
+// process scientific data in place on a parallel file system:
+//
+//   - File Explorer (explorer.go): scans a PFS input path, probes each
+//     file with the installed scientific-format plugins (the Sci-format
+//     Head Reader), and classifies files as scientific or flat.
+//
+//   - Data Mapper (mapper.go): mirrors each input on HDFS as virtual
+//     inodes. A flat file becomes one virtual file of fixed-size dummy
+//     blocks; a scientific file becomes a directory whose virtual files
+//     correspond to variables (group paths mirror as deeper directories),
+//     with dummy blocks aligned to storage chunks by default and tunable
+//     to coarser or finer granularity. Dummy blocks carry only a Source
+//     payload — no bytes move at mapping time.
+//
+//   - PFS Reader (reader.go): inside each map task, resolves the task's
+//     dummy block back to a PFS read — a single whole-block request for
+//     flat data, a netCDF/HDF5 hyperslab read for scientific data — and
+//     converts the result to R-ready structures.
+//
+// InputFormat (inputformat.go) packages the three as a mapreduce input
+// format, which is how user jobs consume SciDP.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"scidp/internal/rframe"
+)
+
+// Slab is the value delivered to map tasks for scientific dummy blocks:
+// one decoded hyperslab of one variable.
+type Slab struct {
+	// PFSPath is the source file on the PFS.
+	PFSPath string
+	// VarPath is the variable's path within the file.
+	VarPath string
+	// TypeName names the element type ("float").
+	TypeName string
+	// ElemSize is the element width in bytes.
+	ElemSize int
+	// DimNames names the dimensions (may be empty).
+	DimNames []string
+	// Start is the hyperslab origin in global variable coordinates.
+	Start []int
+	// Count is the hyperslab extent.
+	Count []int
+	// Raw is the decoded little-endian row-major payload.
+	Raw []byte
+}
+
+// NumElems returns the slab's element count.
+func (s *Slab) NumElems() int {
+	n := 1
+	for _, c := range s.Count {
+		n *= c
+	}
+	return n
+}
+
+// Float32s decodes the payload (valid for 4-byte float data).
+func (s *Slab) Float32s() ([]float32, error) {
+	if s.TypeName != "float" && s.TypeName != "float32" {
+		return nil, fmt.Errorf("core: slab %s/%s is %s, not float", s.PFSPath, s.VarPath, s.TypeName)
+	}
+	if len(s.Raw) != s.NumElems()*4 {
+		return nil, fmt.Errorf("core: slab %s/%s has %d bytes for %d float32s", s.PFSPath, s.VarPath, len(s.Raw), s.NumElems())
+	}
+	out := make([]float32, s.NumElems())
+	for i := range out {
+		out[i] = leF32(s.Raw[i*4:])
+	}
+	return out, nil
+}
+
+// Frame converts a rank-3 float slab into a tidy R data frame with global
+// coordinate columns — the paper's "Multi-dimensional array will be
+// prepared as R data frame".
+func (s *Slab) Frame(valueName string) (*rframe.Frame, error) {
+	if len(s.Count) != 3 {
+		return nil, fmt.Errorf("core: Frame needs a rank-3 slab, got rank %d", len(s.Count))
+	}
+	vals, err := s.Float32s()
+	if err != nil {
+		return nil, err
+	}
+	names := [3]string{"dim0", "dim1", "dim2"}
+	for i := 0; i < 3 && i < len(s.DimNames); i++ {
+		if s.DimNames[i] != "" {
+			names[i] = s.DimNames[i]
+		}
+	}
+	return rframe.FromArray3D(names,
+		[3]int{s.Start[0], s.Start[1], s.Start[2]},
+		[3]int{s.Count[0], s.Count[1], s.Count[2]},
+		vals, valueName)
+}
+
+func leF32(b []byte) float32 {
+	u := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return math.Float32frombits(u)
+}

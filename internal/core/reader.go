@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"scidp/internal/hdfs"
+	"scidp/internal/pfs"
+	"scidp/internal/scifmt"
+	"scidp/internal/sim"
+)
+
+// PFSReader resolves dummy blocks against the parallel file system from
+// inside a task — the paper's PFS Reader. Each task constructs (or is
+// handed) one, bound to the task's own PFS mount so the transfer crosses
+// that node's NIC.
+type PFSReader struct {
+	// Registry resolves format names from SlabSource payloads.
+	Registry *scifmt.Registry
+	// Client is the PFS mount of the node the task runs on.
+	Client *pfs.Client
+}
+
+// NewPFSReader returns a reader over the given mount.
+func NewPFSReader(reg *scifmt.Registry, client *pfs.Client) *PFSReader {
+	if reg == nil {
+		reg = scifmt.Default()
+	}
+	return &PFSReader{Registry: reg, Client: client}
+}
+
+// ReadBlock resolves any dummy block: flat sources return raw bytes,
+// slab sources return a decoded *Slab.
+func (r *PFSReader) ReadBlock(p *sim.Proc, b *hdfs.Block) (any, error) {
+	if !b.Virtual {
+		return nil, fmt.Errorf("core: block %d is not virtual; read it via HDFS", b.ID)
+	}
+	switch src := b.Source.(type) {
+	case *FlatSource:
+		return r.ReadFlat(p, src)
+	case *SlabSource:
+		return r.ReadSlab(p, src)
+	default:
+		return nil, fmt.Errorf("core: block %d has unknown source %T", b.ID, b.Source)
+	}
+}
+
+// ReadFlat reads a flat byte range with a single whole-block request
+// (SciDP "reads the entire block in a single I/O request to maximize the
+// bandwidth", unlike Hadoop's 64 KB streaming reads).
+func (r *PFSReader) ReadFlat(p *sim.Proc, src *FlatSource) ([]byte, error) {
+	data, err := r.Client.ReadAt(p, src.PFSPath, src.Offset, src.Length)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) != src.Length {
+		return nil, fmt.Errorf("core: %s: short read %d of %d at %d", src.PFSPath, len(data), src.Length, src.Offset)
+	}
+	return data, nil
+}
+
+// ReadSlab opens the scientific file (header reads charged) and pulls the
+// block's hyperslab through the format plugin — the nc_open / nc_get_vara
+// / nc_close sequence the paper's map tasks perform.
+func (r *PFSReader) ReadSlab(p *sim.Proc, src *SlabSource) (*Slab, error) {
+	format, ok := r.Registry.Lookup(src.Format)
+	if !ok {
+		return nil, fmt.Errorf("core: format %q not installed", src.Format)
+	}
+	reader, err := r.Client.OpenReader(p, src.PFSPath)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := format.ReadSlab(reader, src.VarPath, src.Start, src.Count)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s/%s: %w", src.PFSPath, src.VarPath, err)
+	}
+	return &Slab{
+		PFSPath:  src.PFSPath,
+		VarPath:  src.VarPath,
+		TypeName: src.TypeName,
+		ElemSize: src.ElemSize,
+		DimNames: src.DimNames,
+		Start:    src.Start,
+		Count:    src.Count,
+		Raw:      raw,
+	}, nil
+}

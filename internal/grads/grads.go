@@ -1,0 +1,225 @@
+// Package grads implements a third scientific format — a GrADS-style raw
+// gridded binary: uncompressed float32 records, one per (variable, level)
+// pair, with a compact self-describing header. It exists to demonstrate
+// the SciDP paper's modularity claim end to end: "Users only need to
+// provide a file structure explorer and a corresponding reader to add
+// support of arbitrary file formats" (Section III-B). Format implements
+// scifmt.Format, so registering it makes the File Explorer, Data Mapper,
+// and PFS Reader handle these files with no other change.
+//
+// Layout (little-endian):
+//
+//	magic "GRD1" | headerLen u64 | header | records
+//
+// header: nvars u32, then per var: name, nlevels u32, lat u32, lon u32.
+// Records follow in declared variable order; each record is one level
+// (lat*lon float32s), so a variable occupies nlevels consecutive records
+// and every offset is implicit in the header — no per-chunk index needed.
+package grads
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"scidp/internal/scifmt"
+)
+
+// Magic is the 4-byte signature.
+const Magic = "GRD1"
+
+// VarSpec declares one variable of a writer.
+type VarSpec struct {
+	// Name is the variable name.
+	Name string
+	// Levels, Lat, Lon are the grid dimensions.
+	Levels, Lat, Lon int
+}
+
+// Encode builds a file from variable specs and their full payloads
+// (parallel slices). Values are stored raw (uncompressed), the GrADS
+// convention.
+func Encode(specs []VarSpec, payloads [][]float32) ([]byte, error) {
+	if len(specs) != len(payloads) {
+		return nil, fmt.Errorf("grads: %d specs, %d payloads", len(specs), len(payloads))
+	}
+	var hdr []byte
+	u32 := func(v uint32) { hdr = binary.LittleEndian.AppendUint32(hdr, v) }
+	str := func(s string) { u32(uint32(len(s))); hdr = append(hdr, s...) }
+	u32(uint32(len(specs)))
+	total := 0
+	for i, sp := range specs {
+		if sp.Levels <= 0 || sp.Lat <= 0 || sp.Lon <= 0 {
+			return nil, fmt.Errorf("grads: var %s: bad dims %dx%dx%d", sp.Name, sp.Levels, sp.Lat, sp.Lon)
+		}
+		if len(payloads[i]) != sp.Levels*sp.Lat*sp.Lon {
+			return nil, fmt.Errorf("grads: var %s: %d values for %dx%dx%d", sp.Name, len(payloads[i]), sp.Levels, sp.Lat, sp.Lon)
+		}
+		str(sp.Name)
+		u32(uint32(sp.Levels))
+		u32(uint32(sp.Lat))
+		u32(uint32(sp.Lon))
+		total += len(payloads[i])
+	}
+	out := make([]byte, 0, len(Magic)+8+len(hdr)+total*4)
+	out = append(out, Magic...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(hdr)))
+	out = append(out, hdr...)
+	for _, vals := range payloads {
+		for _, v := range vals {
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+		}
+	}
+	return out, nil
+}
+
+// Format returns the scifmt plugin.
+func Format() scifmt.Format { return gradsFormat{} }
+
+type gradsFormat struct{}
+
+func (gradsFormat) Name() string { return "grads" }
+
+func (gradsFormat) Detect(r scifmt.ReaderAt) bool {
+	b, err := r.ReadAt(0, int64(len(Magic)))
+	return err == nil && string(b) == Magic
+}
+
+// header is the parsed metadata plus each variable's data offset.
+type header struct {
+	vars    []VarSpec
+	offsets []int64 // absolute offset of each variable's first record
+}
+
+func parseHeader(r scifmt.ReaderAt) (*header, error) {
+	prefix, err := r.ReadAt(0, int64(len(Magic))+8)
+	if err != nil {
+		return nil, err
+	}
+	if len(prefix) < len(Magic)+8 || string(prefix[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("grads: not a %s file", Magic)
+	}
+	hlen := int64(binary.LittleEndian.Uint64(prefix[len(Magic):]))
+	if hlen <= 0 || hlen > r.Size() {
+		return nil, fmt.Errorf("grads: corrupt header length %d", hlen)
+	}
+	raw, err := r.ReadAt(int64(len(Magic))+8, hlen)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(raw)) < hlen {
+		return nil, fmt.Errorf("grads: truncated header")
+	}
+	off := 0
+	need := func(n int) ([]byte, error) {
+		if off+n > len(raw) {
+			return nil, fmt.Errorf("grads: truncated header at %d", off)
+		}
+		b := raw[off : off+n]
+		off += n
+		return b, nil
+	}
+	u32 := func() (uint32, error) {
+		b, err := need(4)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b), nil
+	}
+	nv, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	h := &header{}
+	cur := int64(len(Magic)) + 8 + hlen
+	for i := 0; i < int(nv); i++ {
+		nameLen, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		nameB, err := need(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		var sp VarSpec
+		sp.Name = string(nameB)
+		for _, dst := range []*int{&sp.Levels, &sp.Lat, &sp.Lon} {
+			v, err := u32()
+			if err != nil {
+				return nil, err
+			}
+			*dst = int(v)
+		}
+		h.vars = append(h.vars, sp)
+		h.offsets = append(h.offsets, cur)
+		cur += int64(sp.Levels*sp.Lat*sp.Lon) * 4
+	}
+	if cur > r.Size() {
+		return nil, fmt.Errorf("grads: declared data %d exceeds file size %d", cur, r.Size())
+	}
+	return h, nil
+}
+
+func (gradsFormat) Explore(r scifmt.ReaderAt) (*scifmt.Info, error) {
+	h, err := parseHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	info := &scifmt.Info{Format: "grads", Attrs: map[string]string{}}
+	for i, sp := range h.vars {
+		recBytes := int64(sp.Lat*sp.Lon) * 4
+		entry := scifmt.VarEntry{
+			Path:        sp.Name,
+			TypeName:    "float",
+			ElemSize:    4,
+			Shape:       []int{sp.Levels, sp.Lat, sp.Lon},
+			DimNames:    []string{"level", "lat", "lon"},
+			RawBytes:    int64(sp.Levels) * recBytes,
+			StoredBytes: int64(sp.Levels) * recBytes, // uncompressed
+		}
+		for l := 0; l < sp.Levels; l++ {
+			entry.Segments = append(entry.Segments, scifmt.Segment{
+				Offset:     h.offsets[i] + int64(l)*recBytes,
+				StoredSize: recBytes,
+				RawSize:    recBytes,
+				Start:      []int{l, 0, 0},
+				Extent:     []int{1, sp.Lat, sp.Lon},
+			})
+		}
+		info.Vars = append(info.Vars, entry)
+	}
+	return info, nil
+}
+
+func (gradsFormat) ReadSlab(r scifmt.ReaderAt, varPath string, start, count []int) ([]byte, error) {
+	h, err := parseHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	for i, sp := range h.vars {
+		if sp.Name != varPath {
+			continue
+		}
+		if len(start) != 3 || len(count) != 3 {
+			return nil, fmt.Errorf("grads: slab rank must be 3")
+		}
+		if start[1] != 0 || start[2] != 0 || count[1] != sp.Lat || count[2] != sp.Lon {
+			return nil, fmt.Errorf("grads: only whole-level slabs supported")
+		}
+		if start[0] < 0 || count[0] <= 0 || start[0]+count[0] > sp.Levels {
+			return nil, fmt.Errorf("grads: levels [%d,+%d) outside [0,%d)", start[0], count[0], sp.Levels)
+		}
+		recBytes := int64(sp.Lat*sp.Lon) * 4
+		off := h.offsets[i] + int64(start[0])*recBytes
+		n := int64(count[0]) * recBytes
+		raw, err := r.ReadAt(off, n)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(raw)) < n {
+			return nil, fmt.Errorf("grads: truncated data for %s", varPath)
+		}
+		return raw, nil
+	}
+	return nil, fmt.Errorf("grads: no variable %q", varPath)
+}

@@ -1,0 +1,231 @@
+package hdf5lite
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scidp/internal/netcdf"
+)
+
+func sampleFile(t *testing.T) ([]byte, []float32) {
+	t.Helper()
+	w := NewWriter()
+	w.Root().Attrs["title"] = "nested"
+	phys := w.Root().EnsureGroup("model/physics")
+	phys.Attrs["scheme"] = "GCE"
+	vals := make([]float32, 6*4*4)
+	for i := range vals {
+		vals[i] = float32(i) * 0.5
+	}
+	if _, err := phys.AddFloat32("QR", []int{6, 4, 4}, 2, 3, vals); err != nil {
+		t.Fatal(err)
+	}
+	dyn := w.Root().EnsureGroup("model/dynamics")
+	if _, err := dyn.AddInt32("steps", []int{3}, 0, 0, []int32{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := w.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, vals
+}
+
+func TestIsHDF5(t *testing.T) {
+	blob, _ := sampleFile(t)
+	if !IsHDF5(netcdf.BytesReader(blob)) {
+		t.Fatal("IsHDF5 should accept a valid file")
+	}
+	if IsHDF5(netcdf.BytesReader([]byte("NCL1 something"))) {
+		t.Fatal("IsHDF5 should reject a netCDF file")
+	}
+}
+
+func TestGroupTreeRoundtrip(t *testing.T) {
+	blob, _ := sampleFile(t)
+	f, err := Open(netcdf.BytesReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Root().Attrs["title"] != "nested" {
+		t.Fatalf("root attrs = %v", f.Root().Attrs)
+	}
+	model := f.Root().Child("model")
+	if model == nil {
+		t.Fatal("missing group model")
+	}
+	phys := model.Child("physics")
+	if phys == nil || phys.Attrs["scheme"] != "GCE" {
+		t.Fatalf("physics group wrong: %+v", phys)
+	}
+	if len(model.Children) != 2 {
+		t.Fatalf("model children = %d, want 2", len(model.Children))
+	}
+	d, err := f.Find("model/physics/QR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Type != Float32 || len(d.Shape) != 3 || d.Shape[0] != 6 {
+		t.Fatalf("dataset = %+v", d)
+	}
+	if len(d.Chunks) != 3 { // 6 rows / 2 per chunk
+		t.Fatalf("chunks = %d, want 3", len(d.Chunks))
+	}
+	if _, err := f.Find("model/nope/QR"); err == nil {
+		t.Fatal("missing group path should fail")
+	}
+	if _, err := f.Find("model/physics/nope"); err == nil {
+		t.Fatal("missing dataset should fail")
+	}
+}
+
+func TestReadAllRoundtrip(t *testing.T) {
+	blob, vals := sampleFile(t)
+	f, _ := Open(netcdf.BytesReader(blob))
+	d, _ := f.Find("model/physics/QR")
+	raw, err := f.ReadAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Float32s(raw)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("elem %d = %v, want %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestReadRowsPartial(t *testing.T) {
+	blob, vals := sampleFile(t)
+	f, _ := Open(netcdf.BytesReader(blob))
+	d, _ := f.Find("model/physics/QR")
+	raw, err := f.ReadRows(d, 3, 2) // crosses the chunk boundary at row 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Float32s(raw)
+	want := vals[3*16 : 5*16]
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row slab elem %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := f.ReadRows(d, 5, 3); err == nil {
+		t.Fatal("out-of-range rows should fail")
+	}
+}
+
+func TestHeaderOnlyOpen(t *testing.T) {
+	blob, _ := sampleFile(t)
+	cr := &netcdf.CountingReader{R: netcdf.BytesReader(blob)}
+	f, err := Open(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Calls != 2 {
+		t.Fatalf("Open used %d reads, want 2", cr.Calls)
+	}
+	if f.HeaderBytes != cr.BytesRead {
+		t.Fatalf("HeaderBytes=%d counted=%d", f.HeaderBytes, cr.BytesRead)
+	}
+}
+
+func TestInt32Dataset(t *testing.T) {
+	blob, _ := sampleFile(t)
+	f, _ := Open(netcdf.BytesReader(blob))
+	d, err := f.Find("model/dynamics/steps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := f.ReadAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 12 {
+		t.Fatalf("raw len = %d", len(raw))
+	}
+	if raw[4] != 20 {
+		t.Fatalf("steps[1] low byte = %d, want 20", raw[4])
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	w := NewWriter()
+	g := w.Root()
+	if _, err := g.AddFloat32("d", nil, 0, 0, nil); err == nil {
+		t.Error("empty shape should fail")
+	}
+	if _, err := g.AddFloat32("d", []int{2, 0}, 0, 0, nil); err == nil {
+		t.Error("zero extent should fail")
+	}
+	if _, err := g.AddFloat32("d", []int{2}, 0, 0, []float32{1}); err == nil {
+		t.Error("short payload should fail")
+	}
+	if _, err := g.AddFloat32("d", []int{2}, 3, 0, []float32{1, 2}); err == nil {
+		t.Error("chunkRows > rows should fail")
+	}
+	if _, err := g.AddFloat32("d", []int{2}, 0, 0, []float32{1, 2}); err != nil {
+		t.Error(err)
+	}
+	if _, err := g.AddFloat32("d", []int{2}, 0, 0, []float32{1, 2}); err == nil {
+		t.Error("duplicate dataset should fail")
+	}
+}
+
+func TestOpenRejectsCorrupt(t *testing.T) {
+	blob, _ := sampleFile(t)
+	if _, err := Open(netcdf.BytesReader(blob[:6])); err == nil {
+		t.Error("truncated prefix should fail")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[2] = 'X'
+	if _, err := Open(netcdf.BytesReader(bad)); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+// TestRowsRoundtripProperty: arbitrary row slabs must equal the same slice
+// of the original data for random shapes and chunkings.
+func TestRowsRoundtripProperty(t *testing.T) {
+	f := func(rows8, cols8, chunk8, start8, count8, defl8 uint8) bool {
+		rows := int(rows8)%12 + 1
+		cols := int(cols8)%6 + 1
+		chunk := int(chunk8) % (rows + 1) // 0 = contiguous
+		start := int(start8) % rows
+		count := int(count8)%(rows-start) + 1
+		vals := make([]float32, rows*cols)
+		for i := range vals {
+			vals[i] = float32(i * 7 % 13)
+		}
+		w := NewWriter()
+		if _, err := w.Root().AddFloat32("d", []int{rows, cols}, chunk, int(defl8)%3, vals); err != nil {
+			return false
+		}
+		blob, err := w.Bytes()
+		if err != nil {
+			return false
+		}
+		file, err := Open(netcdf.BytesReader(blob))
+		if err != nil {
+			return false
+		}
+		d, err := file.Find("d")
+		if err != nil {
+			return false
+		}
+		raw, err := file.ReadRows(d, start, count)
+		if err != nil {
+			return false
+		}
+		got := Float32s(raw)
+		for i := 0; i < count*cols; i++ {
+			if got[i] != vals[start*cols+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,571 @@
+// Package hdfs implements a Hadoop Distributed File System substrate: a
+// NameNode holding the namespace and block map, DataNodes co-located with
+// the big-data cluster's compute nodes, fixed-size blocks with replication,
+// and locality-aware reads (a task reading a block that has a replica on
+// its own node pays local-disk cost only; otherwise the bytes cross the
+// cluster fabric).
+//
+// Two extensions carry SciDP (Section III of the paper):
+//
+//   - Virtual inodes and dummy blocks. A virtual file's blocks hold no
+//     bytes and no replica locations — only a Size and an opaque Source
+//     payload that SciDP's Data Mapper fills with the PFS file segment or
+//     netCDF hyperslab the block stands for. The MapReduce layer schedules
+//     over them exactly like real blocks (the paper: "The dummy HDFS block
+//     works as a placeholder").
+//
+//   - A pluggable placement cursor, so tests can pin block layouts.
+//
+// Bytes of real blocks are stored once and shared by replicas; replication
+// affects placement, fault surface, and write cost, not storage in this
+// simulation.
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scidp/internal/cluster"
+	"scidp/internal/sim"
+)
+
+// Config sizes the file system. DefaultConfig matches the paper's
+// deployment: 128 MB blocks (Cloudera default) and replication 1 (as the
+// paper sets for its experiments).
+type Config struct {
+	// BlockSize is the split size for real files, bytes.
+	BlockSize int64
+	// Replication is the number of replicas per real block.
+	Replication int
+	// NNOpsPerSec bounds NameNode RPC throughput.
+	NNOpsPerSec float64
+	// NNLatency is one NameNode RPC round trip, seconds.
+	NNLatency float64
+}
+
+// DefaultConfig returns the paper's HDFS settings.
+func DefaultConfig() Config {
+	return Config{BlockSize: 128 << 20, Replication: 1, NNOpsPerSec: 50000, NNLatency: 0.0005}
+}
+
+// Block is one unit of a file. Real blocks carry bytes and replica
+// locations; virtual (dummy) blocks carry a Source payload instead.
+type Block struct {
+	// ID is the cluster-unique block id.
+	ID int64
+	// Size is the block length in bytes (for virtual blocks, the length
+	// the mapper advertises to the scheduler).
+	Size int64
+	// Replicas lists the DataNodes holding the block; empty for virtual
+	// blocks.
+	Replicas []*DataNode
+	// Virtual marks a dummy block whose bytes live on the PFS.
+	Virtual bool
+	// Source is the opaque mapping payload of a virtual block (a PFS
+	// segment or hyperslab reference installed by SciDP's Data Mapper).
+	Source any
+
+	data []byte
+}
+
+// Data returns a real block's bytes (nil for virtual blocks). The slice is
+// shared; callers must not mutate it.
+func (b *Block) Data() []byte { return b.data }
+
+// INode is a file or directory in the namespace.
+type INode struct {
+	// Path is the absolute HDFS path.
+	Path string
+	// Dir marks directories.
+	Dir bool
+	// Blocks are the file's blocks in order; nil for directories.
+	Blocks []*Block
+	// Virtual marks files consisting of dummy blocks.
+	Virtual bool
+}
+
+// Size returns the file length (sum of block sizes).
+func (n *INode) Size() int64 {
+	var s int64
+	for _, b := range n.Blocks {
+		s += b.Size
+	}
+	return s
+}
+
+// DataNode is the storage daemon on one cluster node.
+type DataNode struct {
+	// Node is the machine the daemon runs on.
+	Node *cluster.Node
+	// Used is the total bytes of real blocks stored here.
+	Used int64
+	// BlockCount is the number of real block replicas stored here.
+	BlockCount int
+}
+
+// FS is one HDFS instance over a cluster.
+type FS struct {
+	k       *sim.Kernel
+	cfg     Config
+	cluster *cluster.Cluster
+	dns     []*DataNode
+	byNode  map[*cluster.Node]*DataNode
+	nn      *sim.Resource
+	inodes  map[string]*INode
+	nextID  int64
+	cursor  int
+}
+
+// New builds an HDFS whose DataNodes are every node of cl.
+func New(k *sim.Kernel, cl *cluster.Cluster, cfg Config) *FS {
+	if cfg.BlockSize <= 0 {
+		panic("hdfs: block size must be positive")
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
+	fs := &FS{
+		k:       k,
+		cfg:     cfg,
+		cluster: cl,
+		byNode:  make(map[*cluster.Node]*DataNode),
+		inodes:  map[string]*INode{"/": {Path: "/", Dir: true}},
+	}
+	fs.nn = sim.NewResource("hdfs/namenode", cfg.NNOpsPerSec)
+	fs.nn.Latency = cfg.NNLatency
+	for _, n := range cl.Nodes {
+		dn := &DataNode{Node: n}
+		fs.dns = append(fs.dns, dn)
+		fs.byNode[n] = dn
+	}
+	return fs
+}
+
+// Config returns the configuration the FS was built with.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// Cluster returns the backing cluster.
+func (fs *FS) Cluster() *cluster.Cluster { return fs.cluster }
+
+// DataNodes returns the storage daemons in node order.
+func (fs *FS) DataNodes() []*DataNode { return fs.dns }
+
+// nnOp charges one NameNode RPC.
+func (fs *FS) nnOp(p *sim.Proc) { p.Transfer(1, fs.nn) }
+
+// mkdirAll creates path and its ancestors as directories (no time charge;
+// callers charge RPCs).
+func (fs *FS) mkdirAll(path string) error {
+	path = clean(path)
+	if n, ok := fs.inodes[path]; ok {
+		if !n.Dir {
+			return fmt.Errorf("hdfs: mkdir %s: file exists", path)
+		}
+		return nil
+	}
+	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	cur := ""
+	for _, part := range parts {
+		cur += "/" + part
+		if n, ok := fs.inodes[cur]; ok {
+			if !n.Dir {
+				return fmt.Errorf("hdfs: mkdir %s: %s is a file", path, cur)
+			}
+			continue
+		}
+		fs.inodes[cur] = &INode{Path: cur, Dir: true}
+	}
+	return nil
+}
+
+func clean(p string) string {
+	if p == "" || p == "/" {
+		return "/"
+	}
+	return "/" + strings.Trim(p, "/")
+}
+
+func parent(p string) string {
+	i := strings.LastIndex(p, "/")
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+// placeReplicas picks Replication distinct DataNodes, preferring the
+// writer's own node for the first replica (standard HDFS policy).
+func (fs *FS) placeReplicas(writer *cluster.Node) []*DataNode {
+	reps := make([]*DataNode, 0, fs.cfg.Replication)
+	seen := map[*DataNode]bool{}
+	if dn, ok := fs.byNode[writer]; ok {
+		reps = append(reps, dn)
+		seen[dn] = true
+	}
+	for len(reps) < fs.cfg.Replication && len(reps) < len(fs.dns) {
+		dn := fs.dns[fs.cursor%len(fs.dns)]
+		fs.cursor++
+		if !seen[dn] {
+			reps = append(reps, dn)
+			seen[dn] = true
+		}
+	}
+	return reps
+}
+
+// Mkdir creates a directory (and parents), charging one NameNode RPC.
+func (fs *FS) Mkdir(p *sim.Proc, path string) error {
+	fs.nnOp(p)
+	return fs.mkdirAll(path)
+}
+
+// WriteFile stores data as a new real file written by client, charging a
+// NameNode RPC per block plus the replication pipeline transfers. The
+// first replica lands on the client's node when the client is a DataNode.
+func (fs *FS) WriteFile(p *sim.Proc, client *cluster.Node, path string, data []byte) error {
+	path = clean(path)
+	if _, exists := fs.inodes[path]; exists {
+		return fmt.Errorf("hdfs: create %s: file exists", path)
+	}
+	if err := fs.mkdirAll(parent(path)); err != nil {
+		return err
+	}
+	fs.nnOp(p)
+	node := &INode{Path: path}
+	if len(data) == 0 {
+		fs.inodes[path] = node
+		return nil
+	}
+	for off := int64(0); off < int64(len(data)); off += fs.cfg.BlockSize {
+		end := off + fs.cfg.BlockSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		chunk := data[off:end]
+		fs.nnOp(p)
+		reps := fs.placeReplicas(client)
+		fs.nextID++
+		b := &Block{ID: fs.nextID, Size: int64(len(chunk)), Replicas: reps}
+		b.data = append([]byte(nil), chunk...)
+		// Replication pipeline: client -> r1 -> r2 -> ... Each hop is a
+		// leg of the parallel transfer (pipelining overlaps hops).
+		var parts []sim.Part
+		prev := client
+		for _, dn := range reps {
+			var chain []*sim.Resource
+			if dn.Node != prev {
+				chain = append(chain, fs.cluster.NetPath(prev, dn.Node)...)
+			}
+			chain = append(chain, dn.Node.Disk)
+			parts = append(parts, sim.Part{Bytes: float64(len(chunk)), Res: chain})
+			dn.Used += int64(len(chunk))
+			dn.BlockCount++
+			prev = dn.Node
+		}
+		p.TransferAll(parts...)
+		node.Blocks = append(node.Blocks, b)
+	}
+	fs.inodes[path] = node
+	return nil
+}
+
+// Put installs a real file instantly (no virtual time) with round-robin
+// replica placement — the workload-setup back door, mirroring pfs.Put.
+func (fs *FS) Put(path string, data []byte) (*INode, error) {
+	path = clean(path)
+	if _, exists := fs.inodes[path]; exists {
+		return nil, fmt.Errorf("hdfs: put %s: file exists", path)
+	}
+	if err := fs.mkdirAll(parent(path)); err != nil {
+		return nil, err
+	}
+	node := &INode{Path: path}
+	for off := int64(0); off < int64(len(data)); off += fs.cfg.BlockSize {
+		end := off + fs.cfg.BlockSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		chunk := data[off:end]
+		reps := fs.placeReplicas(nil)
+		fs.nextID++
+		b := &Block{ID: fs.nextID, Size: int64(len(chunk)), Replicas: reps}
+		b.data = append([]byte(nil), chunk...)
+		for _, dn := range reps {
+			dn.Used += b.Size
+			dn.BlockCount++
+		}
+		node.Blocks = append(node.Blocks, b)
+	}
+	fs.inodes[path] = node
+	return node, nil
+}
+
+// VirtualBlockSpec describes one dummy block of a virtual file.
+type VirtualBlockSpec struct {
+	// Size is the advertised block length in bytes.
+	Size int64
+	// Source is the opaque PFS mapping payload.
+	Source any
+}
+
+// CreateVirtualFile installs a virtual inode whose dummy blocks map to PFS
+// data. Only NameNode metadata is touched: no bytes move (the core of
+// SciDP's Data Mapper). One RPC is charged for the file plus one per 100
+// blocks of mapping-table upload.
+func (fs *FS) CreateVirtualFile(p *sim.Proc, path string, blocks []VirtualBlockSpec) (*INode, error) {
+	path = clean(path)
+	if _, exists := fs.inodes[path]; exists {
+		return nil, fmt.Errorf("hdfs: create %s: file exists", path)
+	}
+	if err := fs.mkdirAll(parent(path)); err != nil {
+		return nil, err
+	}
+	fs.nnOp(p)
+	for i := 0; i < len(blocks); i += 100 {
+		fs.nnOp(p)
+	}
+	node := &INode{Path: path, Virtual: true}
+	for _, spec := range blocks {
+		fs.nextID++
+		node.Blocks = append(node.Blocks, &Block{
+			ID:      fs.nextID,
+			Size:    spec.Size,
+			Virtual: true,
+			Source:  spec.Source,
+		})
+	}
+	fs.inodes[path] = node
+	return node, nil
+}
+
+// Stat returns the inode after one NameNode RPC.
+func (fs *FS) Stat(p *sim.Proc, path string) (*INode, error) {
+	fs.nnOp(p)
+	return fs.Lookup(path)
+}
+
+// Lookup returns the inode without charging time, or an error.
+func (fs *FS) Lookup(path string) (*INode, error) {
+	n, ok := fs.inodes[clean(path)]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: %s: no such file or directory", path)
+	}
+	return n, nil
+}
+
+// Exists reports whether path names an inode (no time charge).
+func (fs *FS) Exists(path string) bool {
+	_, ok := fs.inodes[clean(path)]
+	return ok
+}
+
+// List returns the sorted inodes directly under dir after one RPC.
+func (fs *FS) List(p *sim.Proc, dir string) ([]*INode, error) {
+	fs.nnOp(p)
+	dir = clean(dir)
+	n, ok := fs.inodes[dir]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: %s: no such directory", dir)
+	}
+	if !n.Dir {
+		return []*INode{n}, nil
+	}
+	prefix := dir
+	if prefix != "/" {
+		prefix += "/"
+	} else {
+		prefix = "/"
+	}
+	var out []*INode
+	for path, in := range fs.inodes {
+		if path == dir || !strings.HasPrefix(path, prefix) {
+			continue
+		}
+		if strings.Contains(path[len(prefix):], "/") {
+			continue
+		}
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Walk returns every file inode under dir (recursively), sorted by path,
+// after one RPC. Directories themselves are omitted.
+func (fs *FS) Walk(p *sim.Proc, dir string) ([]*INode, error) {
+	fs.nnOp(p)
+	dir = clean(dir)
+	prefix := dir
+	if prefix != "/" {
+		prefix += "/"
+	}
+	var out []*INode
+	for path, in := range fs.inodes {
+		if in.Dir {
+			continue
+		}
+		if path == dir || strings.HasPrefix(path, prefix) {
+			out = append(out, in)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Remove deletes a file or empty directory after one RPC.
+func (fs *FS) Remove(p *sim.Proc, path string) error {
+	fs.nnOp(p)
+	path = clean(path)
+	n, ok := fs.inodes[path]
+	if !ok {
+		return fmt.Errorf("hdfs: remove %s: no such file", path)
+	}
+	if n.Dir {
+		children, _ := fs.List(p, path)
+		if len(children) > 0 {
+			return fmt.Errorf("hdfs: remove %s: directory not empty", path)
+		}
+	}
+	for _, b := range n.Blocks {
+		for _, dn := range b.Replicas {
+			dn.Used -= b.Size
+			dn.BlockCount--
+		}
+	}
+	delete(fs.inodes, path)
+	return nil
+}
+
+// ReadBlock reads one real block from the reader's best replica: the local
+// disk when a replica lives on reader's node, otherwise a remote read over
+// the fabric from the first replica. Virtual blocks return an error — the
+// caller (SciDP's PFS Reader) must resolve those against the PFS.
+func (fs *FS) ReadBlock(p *sim.Proc, reader *cluster.Node, b *Block) ([]byte, error) {
+	if b.Virtual {
+		return nil, fmt.Errorf("hdfs: block %d is virtual; resolve via its Source", b.ID)
+	}
+	if len(b.Replicas) == 0 {
+		return nil, fmt.Errorf("hdfs: block %d has no replicas", b.ID)
+	}
+	src := b.Replicas[0]
+	local := false
+	for _, dn := range b.Replicas {
+		if dn.Node == reader {
+			src, local = dn, true
+			break
+		}
+	}
+	if local {
+		p.Transfer(float64(b.Size), cluster.LocalReadPath(src.Node)...)
+	} else {
+		p.Transfer(float64(b.Size), fs.cluster.RemoteReadPath(src.Node, reader)...)
+	}
+	return b.data, nil
+}
+
+// ReadAt reads the byte range [off, off+n) of a real file, touching only
+// the blocks that overlap the range — what a netCDF-aware reader
+// (SciHadoop) uses to pull just one variable's chunks out of an
+// HDFS-resident file. Short reads at EOF return what exists.
+func (fs *FS) ReadAt(p *sim.Proc, reader *cluster.Node, path string, off, n int64) ([]byte, error) {
+	node, err := fs.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if node.Dir {
+		return nil, fmt.Errorf("hdfs: read %s: is a directory", path)
+	}
+	if off < 0 {
+		return nil, fmt.Errorf("hdfs: read %s: negative offset", path)
+	}
+	size := node.Size()
+	if off >= size {
+		return nil, nil
+	}
+	if off+n > size {
+		n = size - off
+	}
+	out := make([]byte, 0, n)
+	var blockStart int64
+	for _, b := range node.Blocks {
+		blockEnd := blockStart + b.Size
+		if blockEnd > off && blockStart < off+n {
+			if b.Virtual {
+				return nil, fmt.Errorf("hdfs: block %d is virtual; resolve via its Source", b.ID)
+			}
+			lo := maxI64(off, blockStart)
+			hi := minI64(off+n, blockEnd)
+			src := b.Replicas[0]
+			local := false
+			for _, dn := range b.Replicas {
+				if dn.Node == reader {
+					src, local = dn, true
+					break
+				}
+			}
+			if local {
+				p.Transfer(float64(hi-lo), cluster.LocalReadPath(src.Node)...)
+			} else {
+				p.Transfer(float64(hi-lo), fs.cluster.RemoteReadPath(src.Node, reader)...)
+			}
+			out = append(out, b.data[lo-blockStart:hi-blockStart]...)
+		}
+		blockStart = blockEnd
+	}
+	return out, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ReadFile reads every block of a real file in order from reader's
+// perspective and returns the concatenated bytes.
+func (fs *FS) ReadFile(p *sim.Proc, reader *cluster.Node, path string) ([]byte, error) {
+	n, err := fs.Stat(p, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Dir {
+		return nil, fmt.Errorf("hdfs: read %s: is a directory", path)
+	}
+	var out []byte
+	for _, b := range n.Blocks {
+		data, err := fs.ReadBlock(p, reader, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// HostsOf returns the node names holding replicas of b (empty for virtual
+// blocks) — what the MapReduce scheduler feeds its locality preference.
+func HostsOf(b *Block) []string {
+	hosts := make([]string, 0, len(b.Replicas))
+	for _, dn := range b.Replicas {
+		hosts = append(hosts, dn.Node.Name)
+	}
+	return hosts
+}
+
+// TotalUsed returns the bytes stored across all DataNodes.
+func (fs *FS) TotalUsed() int64 {
+	var t int64
+	for _, dn := range fs.dns {
+		t += dn.Used
+	}
+	return t
+}

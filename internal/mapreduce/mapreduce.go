@@ -1,0 +1,546 @@
+// Package mapreduce is a Hadoop-like MapReduce engine running under the
+// simulation kernel. It provides the pieces SciDP plugs into: an
+// InputFormat abstraction (SciDP's contribution is, concretely, a new
+// input format whose splits are dummy blocks resolved against a PFS),
+// locality-aware slot scheduling over a cluster, map output partitioning,
+// a shuffle that charges the cluster fabric, and reduce aggregation.
+//
+// User map/reduce functions are real Go code operating on real data; they
+// charge modeled compute time through TaskContext.Charge / Phase, and all
+// I/O they perform through the simulated file systems charges virtual
+// time automatically.
+//
+// The engine runs the map wave to completion before starting reducers
+// (no slow-start); the paper's workloads are map-dominated, and the
+// within-wave overlap of one task's PFS reads with other tasks' compute —
+// the effect SciDP exploits — is fully modeled.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"scidp/internal/cluster"
+	"scidp/internal/sim"
+)
+
+// KV is one key/value pair.
+type KV struct {
+	// K is the key.
+	K string
+	// V is the value.
+	V any
+}
+
+// Split is one unit of map input.
+type Split struct {
+	// Label names the split for stats ("plot_18_00_00.nc/QR#3").
+	Label string
+	// Payload carries whatever the InputFormat needs to read the split.
+	Payload any
+	// Length is the advertised byte size (drives scheduling stats only).
+	Length int64
+	// Locations are preferred host names (empty = no locality, schedule
+	// anywhere — the case for SciDP's dummy blocks).
+	Locations []string
+}
+
+// InputFormat produces splits and reads their records.
+type InputFormat interface {
+	// Splits enumerates the job's input splits; p charges the metadata
+	// operations this requires (NameNode RPCs, PFS stats).
+	Splits(p *sim.Proc) ([]*Split, error)
+	// ForEach reads one split and invokes fn per record. I/O goes
+	// through tc's process so virtual time is charged where the task
+	// runs.
+	ForEach(tc *TaskContext, s *Split, fn func(key string, value any) error) error
+}
+
+// MapFunc consumes one record and emits intermediate pairs via tc.Emit.
+type MapFunc func(tc *TaskContext, key string, value any) error
+
+// ReduceFunc consumes one grouped key and emits final pairs via tc.Emit.
+type ReduceFunc func(tc *TaskContext, key string, values []any) error
+
+// Job describes one MapReduce execution.
+type Job struct {
+	// Name labels the job in process names and errors.
+	Name string
+	// Cluster is where tasks run.
+	Cluster *cluster.Cluster
+	// SlotsPerNode is the concurrent task count per node (the paper runs
+	// 8). Zero takes each node's slot capacity.
+	SlotsPerNode int
+	// Input produces the splits.
+	Input InputFormat
+	// Map is the map function (required).
+	Map MapFunc
+	// Reduce is the reduce function; nil runs a map-only job whose map
+	// outputs become the job output.
+	Reduce ReduceFunc
+	// Combine, when set, folds each map task's output per key before the
+	// shuffle (a Hadoop combiner) — same signature as Reduce, must be
+	// associative and emit pairs of the same shape it consumes.
+	Combine ReduceFunc
+	// NumReducers is the reduce task count (default 1 when Reduce is
+	// set).
+	NumReducers int
+	// TaskStartup is the fixed per-task launch cost in seconds (YARN
+	// container + JVM spin-up; default 1.0).
+	TaskStartup float64
+	// PairBytes sizes an intermediate pair for shuffle accounting
+	// (default: len(key) + 16).
+	PairBytes func(kv KV) int64
+	// Partition routes a key to a reducer (default: FNV hash).
+	Partition func(key string, reducers int) int
+	// MaxAttempts bounds task retries (default 1 = no retry).
+	MaxAttempts int
+	// FailInject, when set, forces the given map task attempt to fail —
+	// a hook for fault-tolerance tests. Called as FailInject(taskIndex,
+	// attempt).
+	FailInject func(task, attempt int) bool
+}
+
+// TaskStats records one task's timing.
+type TaskStats struct {
+	// Label is the split label (or "reduce-N").
+	Label string
+	// Node is where the task ran.
+	Node string
+	// Start and End are virtual times.
+	Start, End float64
+	// Phases are named sub-phase durations (Read/Convert/Plot in the
+	// paper's Figure 7), in the order first charged.
+	Phases []Phase
+	// Attempt is the attempt number that succeeded (1-based).
+	Attempt int
+}
+
+// Phase is a named duration within a task.
+type Phase struct {
+	// Name is the phase label.
+	Name string
+	// Seconds is the accumulated virtual duration.
+	Seconds float64
+}
+
+// Duration returns the task's total virtual time.
+func (ts *TaskStats) Duration() float64 { return ts.End - ts.Start }
+
+// Result is a completed job's output.
+type Result struct {
+	// Output holds the final pairs sorted by key then insertion order.
+	Output []KV
+	// Counters are the job's accumulated named counters.
+	Counters map[string]int64
+	// MapStats has one entry per map task in completion order.
+	MapStats []TaskStats
+	// ReduceStats has one entry per reduce task.
+	ReduceStats []TaskStats
+	// Start and End are the job's virtual time bounds.
+	Start, End float64
+	// ShuffleBytes is the total intermediate bytes moved between nodes.
+	ShuffleBytes int64
+}
+
+// Elapsed returns the job's virtual duration.
+func (r *Result) Elapsed() float64 { return r.End - r.Start }
+
+// PhaseMean averages a named phase across map tasks (0 when absent).
+func (r *Result) PhaseMean(name string) float64 {
+	var sum float64
+	var n int
+	for i := range r.MapStats {
+		for _, ph := range r.MapStats[i].Phases {
+			if ph.Name == name {
+				sum += ph.Seconds
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// TaskContext is handed to map and reduce functions.
+type TaskContext struct {
+	job    *Job
+	proc   *sim.Proc
+	node   *cluster.Node
+	stats  *TaskStats
+	emit   func(KV)
+	result *Result
+}
+
+// Proc returns the task's simulated process (for file-system calls).
+func (tc *TaskContext) Proc() *sim.Proc { return tc.proc }
+
+// Node returns the machine the task runs on.
+func (tc *TaskContext) Node() *cluster.Node { return tc.node }
+
+// Now returns the current virtual time.
+func (tc *TaskContext) Now() float64 { return tc.proc.Now() }
+
+// Emit produces an intermediate (map) or final (reduce) pair.
+func (tc *TaskContext) Emit(key string, value any) { tc.emit(KV{K: key, V: value}) }
+
+// Charge blocks the task for d seconds of modeled compute and attributes
+// it to the named phase.
+func (tc *TaskContext) Charge(phase string, d float64) {
+	tc.proc.Sleep(d)
+	tc.addPhase(phase, d)
+}
+
+// Phase runs fn and attributes its virtual duration to the named phase —
+// use it around I/O so transfer time lands in the right bucket.
+func (tc *TaskContext) Phase(name string, fn func()) {
+	start := tc.proc.Now()
+	fn()
+	tc.addPhase(name, tc.proc.Now()-start)
+}
+
+func (tc *TaskContext) addPhase(name string, d float64) {
+	for i := range tc.stats.Phases {
+		if tc.stats.Phases[i].Name == name {
+			tc.stats.Phases[i].Seconds += d
+			return
+		}
+	}
+	tc.stats.Phases = append(tc.stats.Phases, Phase{Name: name, Seconds: d})
+}
+
+// Counter adds delta to the named job counter.
+func (tc *TaskContext) Counter(name string, delta int64) {
+	tc.result.Counters[name] += delta
+}
+
+// defaultPartition hashes the key.
+func defaultPartition(key string, reducers int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(reducers))
+}
+
+// task is one schedulable unit.
+type task struct {
+	index   int
+	label   string
+	locs    []string
+	attempt int
+	body    func(tc *TaskContext) error
+}
+
+// localityQueue hands tasks to workers, preferring node-local splits.
+// Workers that find only remote-preferring tasks back off briefly before
+// stealing (delay scheduling), so locality holds whenever local slots
+// exist without risking starvation when they do not.
+type localityQueue struct {
+	tasks []*task
+}
+
+// pickLocal removes and returns a task that prefers nodeName or has no
+// preference at all; nil when every queued task prefers another node.
+func (q *localityQueue) pickLocal(nodeName string) *task {
+	for i, t := range q.tasks {
+		if len(t.locs) == 0 {
+			q.tasks = append(q.tasks[:i], q.tasks[i+1:]...)
+			return t
+		}
+		for _, l := range t.locs {
+			if l == nodeName {
+				q.tasks = append(q.tasks[:i], q.tasks[i+1:]...)
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// pickAny removes and returns the head task regardless of preference.
+func (q *localityQueue) pickAny() *task {
+	if len(q.tasks) == 0 {
+		return nil
+	}
+	t := q.tasks[0]
+	q.tasks = q.tasks[1:]
+	return t
+}
+
+func (q *localityQueue) empty() bool { return len(q.tasks) == 0 }
+
+func (q *localityQueue) push(t *task) { q.tasks = append(q.tasks, t) }
+
+// Run executes the job from within an existing simulated process (a
+// driver), blocking in virtual time until the job completes.
+func (j *Job) Run(p *sim.Proc) (*Result, error) {
+	if j.Map == nil {
+		return nil, fmt.Errorf("mapreduce: job %s has no map function", j.Name)
+	}
+	if j.Cluster == nil || len(j.Cluster.Nodes) == 0 {
+		return nil, fmt.Errorf("mapreduce: job %s has no cluster", j.Name)
+	}
+	startup := j.TaskStartup
+	if startup == 0 {
+		startup = 1.0
+	}
+	partition := j.Partition
+	if partition == nil {
+		partition = defaultPartition
+	}
+	pairBytes := j.PairBytes
+	if pairBytes == nil {
+		pairBytes = func(kv KV) int64 { return int64(len(kv.K)) + 16 }
+	}
+	maxAttempts := j.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+	reducers := j.NumReducers
+	if j.Reduce != nil && reducers <= 0 {
+		reducers = 1
+	}
+
+	res := &Result{Counters: map[string]int64{}, Start: p.Now()}
+
+	splits, err := j.Input.Splits(p)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %s: %w", j.Name, err)
+	}
+
+	// Intermediate state: per map task, per reducer bucket.
+	type mapOut struct {
+		node    *cluster.Node
+		buckets [][]KV
+		bytes   []int64
+	}
+	outs := make([]*mapOut, len(splits))
+	var mapOnly []KV
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	mapTasks := make([]*task, len(splits))
+	for i, s := range splits {
+		i, s := i, s
+		mapTasks[i] = &task{
+			index: i,
+			label: s.Label,
+			locs:  s.Locations,
+			body: func(tc *TaskContext) error {
+				if j.FailInject != nil && j.FailInject(i, tc.stats.Attempt) {
+					return fmt.Errorf("injected failure on task %d attempt %d", i, tc.stats.Attempt)
+				}
+				mo := &mapOut{node: tc.node}
+				if reducers > 0 {
+					mo.buckets = make([][]KV, reducers)
+					mo.bytes = make([]int64, reducers)
+				}
+				tc.emit = func(kv KV) {
+					if reducers > 0 {
+						b := partition(kv.K, reducers)
+						mo.buckets[b] = append(mo.buckets[b], kv)
+						mo.bytes[b] += pairBytes(kv)
+					} else {
+						mapOnly = append(mapOnly, kv)
+					}
+				}
+				err := j.Input.ForEach(tc, s, func(key string, value any) error {
+					return j.Map(tc, key, value)
+				})
+				if err != nil {
+					return err
+				}
+				if j.Combine != nil && reducers > 0 {
+					if err := combineBuckets(tc, j, mo.buckets, mo.bytes, pairBytes); err != nil {
+						return err
+					}
+				}
+				outs[i] = mo
+				return nil
+			},
+		}
+	}
+	j.runPhase(p, "map", mapTasks, startup, maxAttempts, &res.MapStats, res, fail)
+	if firstErr != nil {
+		return nil, fmt.Errorf("mapreduce: job %s: %w", j.Name, firstErr)
+	}
+
+	if reducers == 0 {
+		res.Output = mapOnly
+		sortKVs(res.Output)
+		res.End = p.Now()
+		return res, nil
+	}
+
+	// Reduce wave: reducer r pulls bucket r from every map task.
+	nodes := j.Cluster.Nodes
+	finalParts := make([][]KV, reducers)
+	reduceTasks := make([]*task, reducers)
+	for r := 0; r < reducers; r++ {
+		r := r
+		home := nodes[r%len(nodes)]
+		reduceTasks[r] = &task{
+			index: r,
+			label: fmt.Sprintf("reduce-%d", r),
+			locs:  []string{home.Name},
+			body: func(tc *TaskContext) error {
+				// Shuffle: fetch this reducer's buckets.
+				var parts []sim.Part
+				var pairs []KV
+				for _, mo := range outs {
+					if mo == nil {
+						continue
+					}
+					pairs = append(pairs, mo.buckets[r]...)
+					if mo.node != tc.node && mo.bytes[r] > 0 {
+						parts = append(parts, sim.Part{
+							Bytes: float64(mo.bytes[r]),
+							Res:   j.Cluster.NetPath(mo.node, tc.node),
+						})
+						res.ShuffleBytes += mo.bytes[r]
+					}
+				}
+				tc.Phase("Shuffle", func() { tc.proc.TransferAll(parts...) })
+				// Sort/group (stable to keep emission order within keys).
+				sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].K < pairs[b].K })
+				tc.emit = func(kv KV) { finalParts[r] = append(finalParts[r], kv) }
+				for i := 0; i < len(pairs); {
+					jj := i
+					var vals []any
+					for jj < len(pairs) && pairs[jj].K == pairs[i].K {
+						vals = append(vals, pairs[jj].V)
+						jj++
+					}
+					if err := j.Reduce(tc, pairs[i].K, vals); err != nil {
+						return err
+					}
+					i = jj
+				}
+				return nil
+			},
+		}
+	}
+	j.runPhase(p, "reduce", reduceTasks, startup, maxAttempts, &res.ReduceStats, res, fail)
+	if firstErr != nil {
+		return nil, fmt.Errorf("mapreduce: job %s: %w", j.Name, firstErr)
+	}
+	for _, part := range finalParts {
+		res.Output = append(res.Output, part...)
+	}
+	sortKVs(res.Output)
+	res.End = p.Now()
+	return res, nil
+}
+
+// runPhase executes tasks on the cluster's worker slots and blocks the
+// driver until every task finishes or permanently fails.
+func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64, maxAttempts int, stats *[]TaskStats, res *Result, fail func(error)) {
+	k := p.Kernel()
+	q := &localityQueue{}
+	for _, t := range tasks {
+		t.attempt = 0
+		q.push(t)
+	}
+	wg := k.NewWaitGroup()
+	wg.Add(len(tasks))
+	for _, node := range j.Cluster.Nodes {
+		slots := j.SlotsPerNode
+		if slots <= 0 {
+			if node.Slots != nil {
+				slots = node.Slots.Capacity()
+			} else {
+				slots = 1
+			}
+		}
+		for s := 0; s < slots; s++ {
+			node := node
+			k.Go(fmt.Sprintf("%s/%s/%s-worker", j.Name, phase, node.Name), func(wp *sim.Proc) {
+				misses := 0
+				for {
+					t := q.pickLocal(node.Name)
+					if t == nil {
+						if q.empty() {
+							return
+						}
+						// Delay scheduling: give preferred nodes a few
+						// beats before stealing their tasks.
+						if misses < 3 {
+							misses++
+							wp.Sleep(0.2)
+							continue
+						}
+						t = q.pickAny()
+						if t == nil {
+							return
+						}
+					}
+					misses = 0
+					t.attempt++
+					ts := TaskStats{Label: t.label, Node: node.Name, Start: wp.Now(), Attempt: t.attempt}
+					tc := &TaskContext{job: j, proc: wp, node: node, stats: &ts, result: res}
+					wp.Sleep(startup)
+					err := t.body(tc)
+					ts.End = wp.Now()
+					if err != nil {
+						if t.attempt < maxAttempts {
+							q.push(t)
+							continue
+						}
+						fail(err)
+						wg.Done()
+						continue
+					}
+					*stats = append(*stats, ts)
+					wg.Done()
+				}
+			})
+		}
+	}
+	p.Wait(wg)
+}
+
+// combineBuckets runs the combiner over one map task's per-reducer
+// buckets in place, shrinking what the shuffle must move.
+func combineBuckets(tc *TaskContext, j *Job, buckets [][]KV, bytes []int64, pairBytes func(KV) int64) error {
+	savedEmit := tc.emit
+	defer func() { tc.emit = savedEmit }()
+	for b := range buckets {
+		pairs := buckets[b]
+		if len(pairs) < 2 {
+			continue
+		}
+		sort.SliceStable(pairs, func(x, y int) bool { return pairs[x].K < pairs[y].K })
+		var combined []KV
+		var combinedBytes int64
+		tc.emit = func(kv KV) {
+			combined = append(combined, kv)
+			combinedBytes += pairBytes(kv)
+		}
+		for i := 0; i < len(pairs); {
+			jj := i
+			var vals []any
+			for jj < len(pairs) && pairs[jj].K == pairs[i].K {
+				vals = append(vals, pairs[jj].V)
+				jj++
+			}
+			if err := j.Combine(tc, pairs[i].K, vals); err != nil {
+				return err
+			}
+			i = jj
+		}
+		buckets[b] = combined
+		bytes[b] = combinedBytes
+	}
+	return nil
+}
+
+func sortKVs(kvs []KV) {
+	sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].K < kvs[j].K })
+}

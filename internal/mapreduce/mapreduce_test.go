@@ -1,0 +1,458 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"scidp/internal/cluster"
+	"scidp/internal/sim"
+)
+
+// memInput is an in-memory InputFormat: each split is a list of lines, and
+// reading charges a configurable virtual cost per split.
+type memInput struct {
+	splits   []*Split
+	readCost float64
+	splitErr error
+	readErr  error
+}
+
+func (m *memInput) Splits(p *sim.Proc) ([]*Split, error) {
+	if m.splitErr != nil {
+		return nil, m.splitErr
+	}
+	return m.splits, nil
+}
+
+func (m *memInput) ForEach(tc *TaskContext, s *Split, fn func(key string, value any) error) error {
+	if m.readErr != nil {
+		return m.readErr
+	}
+	if m.readCost > 0 {
+		tc.Charge("Read", m.readCost)
+	}
+	for i, line := range s.Payload.([]string) {
+		if err := fn(fmt.Sprintf("%s:%d", s.Label, i), line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func linesInput(readCost float64, groups ...[]string) *memInput {
+	in := &memInput{readCost: readCost}
+	for i, g := range groups {
+		in.splits = append(in.splits, &Split{Label: fmt.Sprintf("s%d", i), Payload: g, Length: int64(len(g))})
+	}
+	return in
+}
+
+func testCluster(k *sim.Kernel, nodes, slots int) *cluster.Cluster {
+	return cluster.New(k, "bd", cluster.Config{
+		Nodes: nodes, SlotsPerNode: slots,
+		DiskBW: 1e6, NICBW: 1e6, FabricBW: 1e6,
+	})
+}
+
+// runJob drives a job from a driver proc and returns its result.
+func runJob(t *testing.T, k *sim.Kernel, job *Job) *Result {
+	t.Helper()
+	var res *Result
+	var err error
+	k.Go("driver", func(p *sim.Proc) {
+		res, err = job.Run(p)
+	})
+	k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func wordCountJob(k *sim.Kernel, in InputFormat, nodes, slots, reducers int) *Job {
+	return &Job{
+		Name:         "wordcount",
+		Cluster:      testCluster(k, nodes, slots),
+		SlotsPerNode: slots,
+		Input:        in,
+		TaskStartup:  0.1,
+		NumReducers:  reducers,
+		Map: func(tc *TaskContext, key string, value any) error {
+			for _, w := range strings.Fields(value.(string)) {
+				tc.Emit(w, 1)
+			}
+			return nil
+		},
+		Reduce: func(tc *TaskContext, key string, values []any) error {
+			sum := 0
+			for _, v := range values {
+				sum += v.(int)
+			}
+			tc.Emit(key, sum)
+			return nil
+		},
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	k := sim.NewKernel()
+	in := linesInput(0,
+		[]string{"a b a", "c"},
+		[]string{"b b", "a c c"},
+	)
+	res := runJob(t, k, wordCountJob(k, in, 2, 2, 2))
+	want := map[string]int{"a": 3, "b": 3, "c": 3}
+	if len(res.Output) != 3 {
+		t.Fatalf("output = %+v", res.Output)
+	}
+	for _, kv := range res.Output {
+		if kv.V.(int) != want[kv.K] {
+			t.Errorf("%s = %v, want %d", kv.K, kv.V, want[kv.K])
+		}
+	}
+	if res.Elapsed() <= 0 {
+		t.Error("elapsed must be positive")
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	k := sim.NewKernel()
+	in := linesInput(0, []string{"x"}, []string{"y"})
+	job := wordCountJob(k, in, 2, 1, 0)
+	job.Reduce = nil
+	job.NumReducers = 0
+	res := runJob(t, k, job)
+	if len(res.Output) != 2 {
+		t.Fatalf("map-only output = %+v", res.Output)
+	}
+	if len(res.ReduceStats) != 0 {
+		t.Fatal("map-only job should have no reduce tasks")
+	}
+}
+
+func TestOutputSortedByKey(t *testing.T) {
+	k := sim.NewKernel()
+	in := linesInput(0, []string{"z y x w v"})
+	res := runJob(t, k, wordCountJob(k, in, 2, 1, 3))
+	for i := 1; i < len(res.Output); i++ {
+		if res.Output[i-1].K > res.Output[i].K {
+			t.Fatalf("output not sorted: %+v", res.Output)
+		}
+	}
+}
+
+func TestSlotsBoundConcurrency(t *testing.T) {
+	// 4 splits, 1 node, 1 slot, each read costs 1 s: the map wave must
+	// serialize (>= 4 s). With 4 slots it parallelizes (~1 s + startup).
+	elapsed := func(slots int) float64 {
+		k := sim.NewKernel()
+		in := linesInput(1.0, []string{"a"}, []string{"a"}, []string{"a"}, []string{"a"})
+		job := wordCountJob(k, in, 1, slots, 1)
+		res := runJob(t, k, job)
+		return res.Elapsed()
+	}
+	serial, parallel := elapsed(1), elapsed(4)
+	if serial < 4.0 {
+		t.Fatalf("serial wave took %v, want >= 4", serial)
+	}
+	if parallel > serial/2 {
+		t.Fatalf("parallel wave %v should be well under serial %v", parallel, serial)
+	}
+}
+
+func TestLocalityPreferred(t *testing.T) {
+	k := sim.NewKernel()
+	in := &memInput{}
+	// Two splits pinned to bd-1; with enough slots everywhere, both must
+	// run on bd-1.
+	for i := 0; i < 2; i++ {
+		in.splits = append(in.splits, &Split{
+			Label: fmt.Sprintf("pinned-%d", i), Payload: []string{"a"},
+			Locations: []string{"bd-1"},
+		})
+	}
+	job := wordCountJob(k, in, 3, 2, 1)
+	res := runJob(t, k, job)
+	for _, ts := range res.MapStats {
+		if ts.Node != "bd-1" {
+			t.Fatalf("task %s ran on %s, want bd-1", ts.Label, ts.Node)
+		}
+	}
+}
+
+func TestTaskStartupCharged(t *testing.T) {
+	k := sim.NewKernel()
+	in := linesInput(0, []string{"a"})
+	job := wordCountJob(k, in, 1, 1, 0)
+	job.Reduce = nil
+	job.TaskStartup = 2.5
+	res := runJob(t, k, job)
+	if res.Elapsed() < 2.5 {
+		t.Fatalf("elapsed %v < startup 2.5", res.Elapsed())
+	}
+}
+
+func TestPhasesRecorded(t *testing.T) {
+	k := sim.NewKernel()
+	in := linesInput(0.5, []string{"a"}, []string{"b"})
+	job := wordCountJob(k, in, 2, 1, 1)
+	job.Map = func(tc *TaskContext, key string, value any) error {
+		tc.Charge("Plot", 0.25)
+		tc.Emit(value.(string), 1)
+		return nil
+	}
+	res := runJob(t, k, job)
+	if got := res.PhaseMean("Read"); got != 0.5 {
+		t.Fatalf("Read mean = %v, want 0.5", got)
+	}
+	if got := res.PhaseMean("Plot"); got != 0.25 {
+		t.Fatalf("Plot mean = %v, want 0.25", got)
+	}
+	if got := res.PhaseMean("Nope"); got != 0 {
+		t.Fatalf("missing phase mean = %v", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	k := sim.NewKernel()
+	in := linesInput(0, []string{"a a a"})
+	job := wordCountJob(k, in, 1, 1, 1)
+	inner := job.Map
+	job.Map = func(tc *TaskContext, key string, value any) error {
+		tc.Counter("records", 1)
+		return inner(tc, key, value)
+	}
+	res := runJob(t, k, job)
+	if res.Counters["records"] != 1 {
+		t.Fatalf("counters = %v", res.Counters)
+	}
+}
+
+func TestShuffleBytesAccounted(t *testing.T) {
+	k := sim.NewKernel()
+	in := linesInput(0, []string{"a b"}, []string{"c d"})
+	job := wordCountJob(k, in, 2, 1, 1)
+	res := runJob(t, k, job)
+	// Two map tasks on two nodes, one reducer: at least one map output
+	// must cross the network.
+	if res.ShuffleBytes <= 0 {
+		t.Fatal("expected nonzero shuffle bytes")
+	}
+}
+
+func TestRetrySucceeds(t *testing.T) {
+	k := sim.NewKernel()
+	in := linesInput(0, []string{"a"}, []string{"b"})
+	job := wordCountJob(k, in, 2, 1, 1)
+	job.MaxAttempts = 3
+	job.FailInject = func(task, attempt int) bool { return task == 0 && attempt < 3 }
+	res := runJob(t, k, job)
+	if len(res.Output) != 2 {
+		t.Fatalf("output = %+v", res.Output)
+	}
+	for _, ts := range res.MapStats {
+		if ts.Label == "s0" && ts.Attempt != 3 {
+			t.Fatalf("task s0 succeeded on attempt %d, want 3", ts.Attempt)
+		}
+	}
+}
+
+func TestPermanentFailureSurfacesError(t *testing.T) {
+	k := sim.NewKernel()
+	in := linesInput(0, []string{"a"})
+	job := wordCountJob(k, in, 1, 1, 1)
+	job.MaxAttempts = 2
+	job.FailInject = func(task, attempt int) bool { return true }
+	var err error
+	k.Go("driver", func(p *sim.Proc) {
+		_, err = job.Run(p)
+	})
+	k.Run()
+	if err == nil {
+		t.Fatal("permanently failing task should fail the job")
+	}
+}
+
+func TestSplitErrorPropagates(t *testing.T) {
+	k := sim.NewKernel()
+	in := &memInput{splitErr: fmt.Errorf("no such input path")}
+	job := wordCountJob(k, in, 1, 1, 1)
+	var err error
+	k.Go("driver", func(p *sim.Proc) {
+		_, err = job.Run(p)
+	})
+	k.Run()
+	if err == nil || !strings.Contains(err.Error(), "no such input path") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	k := sim.NewKernel()
+	in := linesInput(0, []string{"a"})
+	job := wordCountJob(k, in, 1, 1, 1)
+	job.Map = func(tc *TaskContext, key string, value any) error {
+		return fmt.Errorf("map exploded")
+	}
+	var err error
+	k.Go("driver", func(p *sim.Proc) {
+		_, err = job.Run(p)
+	})
+	k.Run()
+	if err == nil || !strings.Contains(err.Error(), "map exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	k := sim.NewKernel()
+	in := linesInput(0, []string{"a"})
+	job := wordCountJob(k, in, 1, 1, 1)
+	job.Reduce = func(tc *TaskContext, key string, values []any) error {
+		return fmt.Errorf("reduce exploded")
+	}
+	var err error
+	k.Go("driver", func(p *sim.Proc) {
+		_, err = job.Run(p)
+	})
+	k.Run()
+	if err == nil || !strings.Contains(err.Error(), "reduce exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCustomPartitioner(t *testing.T) {
+	k := sim.NewKernel()
+	in := linesInput(0, []string{"a b c d"})
+	job := wordCountJob(k, in, 2, 1, 2)
+	job.Partition = func(key string, reducers int) int {
+		if key < "c" {
+			return 0
+		}
+		return 1
+	}
+	res := runJob(t, k, job)
+	if len(res.Output) != 4 {
+		t.Fatalf("output = %+v", res.Output)
+	}
+	if len(res.ReduceStats) != 2 {
+		t.Fatalf("reduce tasks = %d", len(res.ReduceStats))
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	k := sim.NewKernel()
+	var err error
+	k.Go("driver", func(p *sim.Proc) {
+		job := &Job{Name: "bad", Cluster: testCluster(k, 1, 1), Input: linesInput(0)}
+		_, err = job.Run(p)
+	})
+	k.Run()
+	if err == nil {
+		t.Fatal("job without Map should fail")
+	}
+}
+
+func TestSequentialJobsComposeInOneDriver(t *testing.T) {
+	// A driver can run job B after job A completes (the SciHadoop
+	// copy-then-process pipeline shape).
+	k := sim.NewKernel()
+	cl := testCluster(k, 2, 2)
+	mk := func(name string) *Job {
+		j := wordCountJob(k, linesInput(0.5, []string{"a"}, []string{"b"}), 2, 2, 1)
+		j.Name = name
+		j.Cluster = cl
+		return j
+	}
+	var t1, t2 float64
+	k.Go("driver", func(p *sim.Proc) {
+		r1, err := mk("first").Run(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		t1 = r1.End
+		r2, err := mk("second").Run(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		t2 = r2.Start
+	})
+	k.Run()
+	if t2 < t1 {
+		t.Fatalf("second job started at %v before first ended at %v", t2, t1)
+	}
+}
+
+func TestDeterministicScheduling(t *testing.T) {
+	trace := func() string {
+		k := sim.NewKernel()
+		in := linesInput(0.3,
+			[]string{"a"}, []string{"b"}, []string{"c"}, []string{"d"},
+			[]string{"e"}, []string{"f"}, []string{"g"}, []string{"h"},
+		)
+		res := runJob(t, k, wordCountJob(k, in, 3, 2, 2))
+		var sb strings.Builder
+		for _, ts := range res.MapStats {
+			fmt.Fprintf(&sb, "%s@%s:%.3f;", ts.Label, ts.Node, ts.End)
+		}
+		return sb.String()
+	}
+	if a, b := trace(), trace(); a != b {
+		t.Fatalf("nondeterministic scheduling:\n%s\n%s", a, b)
+	}
+}
+
+func TestCombinerShrinksShuffle(t *testing.T) {
+	run := func(useCombiner bool) (*Result, map[string]int) {
+		k := sim.NewKernel()
+		in := linesInput(0, []string{"a a a b"}, []string{"a b b b"})
+		job := wordCountJob(k, in, 2, 1, 1)
+		job.SlotsPerNode = 1
+		if useCombiner {
+			job.Combine = func(tc *TaskContext, key string, values []any) error {
+				sum := 0
+				for _, v := range values {
+					sum += v.(int)
+				}
+				tc.Emit(key, sum)
+				return nil
+			}
+		}
+		res := runJob(t, k, job)
+		out := map[string]int{}
+		for _, kv := range res.Output {
+			out[kv.K] = kv.V.(int)
+		}
+		return res, out
+	}
+	plain, plainOut := run(false)
+	combined, combinedOut := run(true)
+	for _, k := range []string{"a", "b"} {
+		if plainOut[k] != 4 || combinedOut[k] != 4 {
+			t.Fatalf("counts differ: plain=%v combined=%v", plainOut, combinedOut)
+		}
+	}
+	if combined.ShuffleBytes >= plain.ShuffleBytes {
+		t.Fatalf("combiner shuffle (%d) should be below plain (%d)", combined.ShuffleBytes, plain.ShuffleBytes)
+	}
+}
+
+func TestCombinerErrorPropagates(t *testing.T) {
+	k := sim.NewKernel()
+	in := linesInput(0, []string{"a a"})
+	job := wordCountJob(k, in, 1, 1, 1)
+	job.Combine = func(tc *TaskContext, key string, values []any) error {
+		return fmt.Errorf("combiner exploded")
+	}
+	var err error
+	k.Go("driver", func(p *sim.Proc) {
+		_, err = job.Run(p)
+	})
+	k.Run()
+	if err == nil || !strings.Contains(err.Error(), "combiner exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,166 @@
+package netcdf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Little-endian scalar helpers shared by the writer and reader.
+
+func leUint32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+func leUint64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+func leFloat32(b []byte) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b))
+}
+func leFloat64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// putFloat32s encodes vals row-major into a fresh byte slice.
+func putFloat32s(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+// putFloat64s encodes vals into a fresh byte slice.
+func putFloat64s(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// putInt32s encodes vals into a fresh byte slice.
+func putInt32s(vals []int32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+	}
+	return out
+}
+
+// enc is a growing little-endian encoder.
+type enc struct{ buf []byte }
+
+func (e *enc) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *enc) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *enc) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *enc) attrs(as []Attr) {
+	e.u32(uint32(len(as)))
+	for _, a := range as {
+		e.str(a.Name)
+		e.u8(uint8(a.Kind))
+		switch a.Kind {
+		case AttrString:
+			e.str(a.Str)
+		case AttrFloat64:
+			e.f64(a.F64)
+		case AttrInt64:
+			e.u64(uint64(a.I64))
+		default:
+			panic(fmt.Sprintf("netcdf: unknown attr kind %d", a.Kind))
+		}
+	}
+}
+
+// dec is a bounds-checked little-endian decoder.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) need(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("netcdf: truncated header (want %d bytes at %d, have %d)", n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *dec) u8() uint8 {
+	b := d.need(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u32() uint32 {
+	b := d.need(4)
+	if b == nil {
+		return 0
+	}
+	return leUint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.need(8)
+	if b == nil {
+		return 0
+	}
+	return leUint64(b)
+}
+
+func (d *dec) f64() float64 {
+	b := d.need(8)
+	if b == nil {
+		return 0
+	}
+	return leFloat64(b)
+}
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if n > len(d.buf) {
+		d.err = fmt.Errorf("netcdf: corrupt string length %d", n)
+		return ""
+	}
+	b := d.need(n)
+	return string(b)
+}
+
+func (d *dec) attrs() []Attr {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > 1<<20 {
+		if d.err == nil {
+			d.err = fmt.Errorf("netcdf: corrupt attribute count %d", n)
+		}
+		return nil
+	}
+	out := make([]Attr, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		a := Attr{Name: d.str(), Kind: AttrKind(d.u8())}
+		switch a.Kind {
+		case AttrString:
+			a.Str = d.str()
+		case AttrFloat64:
+			a.F64 = d.f64()
+		case AttrInt64:
+			a.I64 = int64(d.u64())
+		default:
+			if d.err == nil {
+				d.err = fmt.Errorf("netcdf: unknown attr kind %d", a.Kind)
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package netcdf
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// ReaderAt is the random-access source a file is parsed from. The PFS
+// client's simulated reader implements it (charging virtual time per
+// call); BytesReader implements it over a plain in-memory blob.
+type ReaderAt interface {
+	// ReadAt returns up to n bytes starting at off; short reads at EOF
+	// return what is available.
+	ReadAt(off, n int64) ([]byte, error)
+	// Size returns the total file length.
+	Size() int64
+}
+
+// BytesReader adapts an in-memory blob to ReaderAt.
+type BytesReader []byte
+
+// ReadAt implements ReaderAt.
+func (b BytesReader) ReadAt(off, n int64) ([]byte, error) {
+	if off < 0 || off >= int64(len(b)) {
+		return nil, nil
+	}
+	end := off + n
+	if end > int64(len(b)) {
+		end = int64(len(b))
+	}
+	return b[off:end], nil
+}
+
+// Size implements ReaderAt.
+func (b BytesReader) Size() int64 { return int64(len(b)) }
+
+// CountingReader wraps a ReaderAt and tallies bytes and calls — the hook
+// the I/O-efficiency experiments (Figure 6) and the header-cost tests use.
+type CountingReader struct {
+	// R is the wrapped source.
+	R ReaderAt
+	// BytesRead is the running total of bytes returned.
+	BytesRead int64
+	// Calls is the number of ReadAt invocations.
+	Calls int64
+}
+
+// ReadAt implements ReaderAt.
+func (c *CountingReader) ReadAt(off, n int64) ([]byte, error) {
+	b, err := c.R.ReadAt(off, n)
+	c.BytesRead += int64(len(b))
+	c.Calls++
+	return b, err
+}
+
+// Size implements ReaderAt.
+func (c *CountingReader) Size() int64 { return c.R.Size() }
+
+// Detect reports whether r starts with the format magic — the format-
+// checking probe the Sci-format Head Reader uses (the analogue of
+// nc_open succeeding / H5Fis_hdf5).
+func Detect(r ReaderAt) bool {
+	b, err := r.ReadAt(0, int64(len(Magic)))
+	return err == nil && string(b) == Magic
+}
+
+// File is an opened file: parsed metadata plus the data source for chunk
+// reads.
+type File struct {
+	r      ReaderAt
+	dims   []Dim
+	gattrs []Attr
+	vars   []*Var
+	byName map[string]*Var
+	// HeaderBytes is how many bytes Open consumed — the metadata-only
+	// cost of exploring the file.
+	HeaderBytes int64
+}
+
+// Open parses the header (two range-reads: the fixed prefix, then the
+// header body) without touching any variable data.
+func Open(r ReaderAt) (*File, error) {
+	prefix, err := r.ReadAt(0, int64(len(Magic))+8)
+	if err != nil {
+		return nil, err
+	}
+	if len(prefix) < len(Magic)+8 || string(prefix[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("netcdf: not a %s file", Magic)
+	}
+	hlen := int64(leUint64(prefix[len(Magic):]))
+	if hlen <= 0 || hlen > r.Size() {
+		return nil, fmt.Errorf("netcdf: corrupt header length %d", hlen)
+	}
+	hdr, err := r.ReadAt(int64(len(Magic))+8, hlen)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(hdr)) < hlen {
+		return nil, fmt.Errorf("netcdf: truncated header: got %d of %d bytes", len(hdr), hlen)
+	}
+	f := &File{r: r, byName: map[string]*Var{}, HeaderBytes: int64(len(prefix)) + hlen}
+	if err := f.decodeHeader(hdr); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *File) decodeHeader(hdr []byte) error {
+	d := &dec{buf: hdr}
+	nd := int(d.u32())
+	for i := 0; i < nd && d.err == nil; i++ {
+		f.dims = append(f.dims, Dim{Name: d.str(), Len: int(d.u64())})
+	}
+	f.gattrs = d.attrs()
+	nv := int(d.u32())
+	for i := 0; i < nv && d.err == nil; i++ {
+		v := &Var{Name: d.str(), Type: Type(d.u8())}
+		ndv := int(d.u32())
+		for j := 0; j < ndv && d.err == nil; j++ {
+			v.Dims = append(v.Dims, Dim{Name: d.str(), Len: int(d.u64())})
+		}
+		v.Attrs = d.attrs()
+		if d.u8() == 1 {
+			v.ChunkShape = make([]int, len(v.Dims))
+			for j := range v.ChunkShape {
+				v.ChunkShape[j] = int(d.u64())
+			}
+		}
+		v.Deflate = int(d.u8())
+		nc := int(d.u32())
+		grid := v.chunkGrid()
+		idx := zeros(len(v.Dims))
+		for j := 0; j < nc && d.err == nil; j++ {
+			ci := ChunkInfo{
+				Index:      append([]int(nil), idx...),
+				Offset:     int64(d.u64()),
+				StoredSize: int64(d.u64()),
+				RawSize:    int64(d.u64()),
+			}
+			v.Chunks = append(v.Chunks, ci)
+			incIndex(idx, grid)
+		}
+		f.vars = append(f.vars, v)
+		f.byName[v.Name] = v
+	}
+	if d.err != nil {
+		return d.err
+	}
+	return nil
+}
+
+// Dims returns the file's dimensions.
+func (f *File) Dims() []Dim { return f.dims }
+
+// GlobalAttrs returns the file-level attributes.
+func (f *File) GlobalAttrs() []Attr { return f.gattrs }
+
+// Vars returns every variable's metadata — nc_inq.
+func (f *File) Vars() []*Var { return f.vars }
+
+// Var returns the named variable's metadata — nc_inq_var.
+func (f *File) Var(name string) (*Var, error) {
+	v, ok := f.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("netcdf: no variable %q", name)
+	}
+	return v, nil
+}
+
+// readChunk fetches and decompresses chunk ci of v.
+func (f *File) readChunk(v *Var, ci ChunkInfo) ([]byte, error) {
+	raw, err := f.r.ReadAt(ci.Offset, ci.StoredSize)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(raw)) < ci.StoredSize {
+		return nil, fmt.Errorf("netcdf: %s: truncated chunk at %d", v.Name, ci.Offset)
+	}
+	if v.Deflate > 0 {
+		fr := flate.NewReader(bytes.NewReader(raw))
+		out, err := io.ReadAll(fr)
+		if err != nil {
+			return nil, fmt.Errorf("netcdf: %s: inflate: %w", v.Name, err)
+		}
+		raw = out
+	}
+	if int64(len(raw)) != ci.RawSize {
+		return nil, fmt.Errorf("netcdf: %s: chunk raw size %d, want %d", v.Name, len(raw), ci.RawSize)
+	}
+	return raw, nil
+}
+
+// GetVara reads the hyperslab [start, start+count) of the named variable —
+// nc_get_vara. Only chunks overlapping the slab are read (and
+// decompressed); that selective I/O is what SciDP's dummy-block reads
+// resolve to.
+func (f *File) GetVara(name string, start, count []int) (*Array, error) {
+	v, err := f.Var(name)
+	if err != nil {
+		return nil, err
+	}
+	shape := v.Shape()
+	if len(start) != len(shape) || len(count) != len(shape) {
+		return nil, fmt.Errorf("netcdf: %s: slab rank %d/%d != var rank %d", name, len(start), len(count), len(shape))
+	}
+	for i := range shape {
+		if start[i] < 0 || count[i] <= 0 || start[i]+count[i] > shape[i] {
+			return nil, fmt.Errorf("netcdf: %s: slab [%d,+%d) outside dim %s(%d)", name, start[i], count[i], v.Dims[i].Name, shape[i])
+		}
+	}
+	es := v.Type.Size()
+	out := &Array{Type: v.Type, Shape: append([]int(nil), count...), Data: make([]byte, volume(count)*es)}
+
+	grid := v.chunkGrid()
+	gstr := strides(grid)
+	// Chunk-grid sub-range overlapping the slab.
+	lo := make([]int, len(shape))
+	hi := make([]int, len(shape)) // inclusive
+	cs := v.ChunkShape
+	for i := range shape {
+		if cs == nil {
+			lo[i], hi[i] = 0, 0
+			continue
+		}
+		lo[i] = start[i] / cs[i]
+		hi[i] = (start[i] + count[i] - 1) / cs[i]
+	}
+	idx := append([]int(nil), lo...)
+	for {
+		linear := dot(idx, gstr)
+		if linear >= len(v.Chunks) {
+			return nil, fmt.Errorf("netcdf: %s: chunk index %v out of range", name, idx)
+		}
+		ci := v.Chunks[linear]
+		raw, err := f.readChunk(v, ci)
+		if err != nil {
+			return nil, err
+		}
+		cStart, cExtent := v.chunkExtent(idx)
+		iStart, iExtent, ok := boxIntersect(start, count, cStart, cExtent)
+		if ok {
+			srcStart := make([]int, len(shape))
+			dstStart := make([]int, len(shape))
+			for i := range shape {
+				srcStart[i] = iStart[i] - cStart[i]
+				dstStart[i] = iStart[i] - start[i]
+			}
+			copyBox(out.Data, count, dstStart, raw, cExtent, srcStart, iExtent, es)
+		}
+		// Advance idx within [lo, hi].
+		d := len(idx) - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] <= hi[d] {
+				break
+			}
+			idx[d] = lo[d]
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// GetVar reads a whole variable.
+func (f *File) GetVar(name string) (*Array, error) {
+	v, err := f.Var(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.GetVara(name, zeros(len(v.Dims)), v.Shape())
+}

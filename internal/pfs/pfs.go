@@ -1,0 +1,391 @@
+// Package pfs implements a Lustre-like parallel file system: a metadata
+// server (MDS), object storage servers (OSS) each fronting several object
+// storage targets (OST), and files striped round-robin across a set of
+// OSTs. File bytes are held for real (so formats, compression, and
+// checksums are exact) while every access charges virtual time on the OST
+// disks, OSS NICs, the storage fabric, and whatever client-side path the
+// caller attaches (an HPC fabric, or the cross-cluster interlink the
+// Hadoop nodes use).
+//
+// The decomposition of a byte range into per-OST segments is the property
+// the SciDP paper leans on: many concurrent readers aggregate bandwidth
+// from many OSTs, which is why direct PFS reads from every map task beat a
+// staged copy.
+package pfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scidp/internal/sim"
+)
+
+// Config sizes the storage cluster. DefaultConfig mirrors the paper's
+// testbed: 24 OSTs behind two OSS nodes plus one MDS.
+type Config struct {
+	// OSSCount is the number of object storage servers.
+	OSSCount int
+	// OSTsPerOSS is how many targets each server fronts.
+	OSTsPerOSS int
+	// OSTBW is per-OST disk bandwidth, bytes/second.
+	OSTBW float64
+	// OSTLatency is the per-request seek charge on a target, seconds.
+	OSTLatency float64
+	// OSSNICBW is each server's network interface bandwidth, bytes/second.
+	OSSNICBW float64
+	// FabricBW is the storage network's aggregate capacity, bytes/second.
+	FabricBW float64
+	// MDSOpsPerSec bounds metadata operation throughput.
+	MDSOpsPerSec float64
+	// MDSLatency is the fixed round-trip of one metadata op, seconds.
+	MDSLatency float64
+	// DefaultStripeSize is the stripe width used when Create is not given
+	// an explicit one. Lustre's default is 1 MiB.
+	DefaultStripeSize int64
+	// DefaultStripeCount is the number of OSTs a new file stripes over.
+	DefaultStripeCount int
+}
+
+// DefaultConfig returns the paper-scale storage cluster: two OSS nodes,
+// twelve 2 TB 7200 RPM SAS targets each (~120 MB/s), 10 GbE server NICs.
+func DefaultConfig() Config {
+	return Config{
+		OSSCount:           2,
+		OSTsPerOSS:         12,
+		OSTBW:              120e6,
+		OSTLatency:         0.004,
+		OSSNICBW:           1.25e9,
+		FabricBW:           2 * 1.25e9,
+		MDSOpsPerSec:       20000,
+		MDSLatency:         0.0005,
+		DefaultStripeSize:  1 << 20,
+		DefaultStripeCount: 8,
+	}
+}
+
+// Scaled divides every bandwidth by factor, leaving latencies, op rates,
+// and layout constants alone. Stripe size is divided too so that scaled
+// files still spread across the same number of OSTs.
+func (c Config) Scaled(factor float64) Config {
+	if factor <= 0 {
+		panic("pfs: scale factor must be positive")
+	}
+	c.OSTBW /= factor
+	c.OSSNICBW /= factor
+	c.FabricBW /= factor
+	ss := float64(c.DefaultStripeSize) / factor
+	if ss < 1 {
+		ss = 1
+	}
+	c.DefaultStripeSize = int64(ss)
+	return c
+}
+
+// ost is one object storage target.
+type ost struct {
+	disk *sim.Resource
+	oss  *ossNode
+}
+
+// ossNode is one object storage server.
+type ossNode struct {
+	nic *sim.Resource
+}
+
+// File is a stored file with its stripe layout.
+type File struct {
+	// Path is the absolute file name ("/nuwrf/plot_18_00_00.nc").
+	Path string
+	// StripeSize is the width of each stripe in bytes.
+	StripeSize int64
+	// StripeCount is how many OSTs the file stripes across.
+	StripeCount int
+	startOST    int
+	data        []byte
+}
+
+// Size returns the file's current length in bytes.
+func (f *File) Size() int64 { return int64(len(f.data)) }
+
+// FS is the parallel file system instance.
+type FS struct {
+	k      *sim.Kernel
+	cfg    Config
+	fabric *sim.Resource
+	mds    *sim.Resource
+	osts   []*ost
+	files  map[string]*File
+	next   int // round-robin OST allocation cursor
+}
+
+// New builds a PFS on the kernel from the given config.
+func New(k *sim.Kernel, cfg Config) *FS {
+	if cfg.OSSCount <= 0 || cfg.OSTsPerOSS <= 0 {
+		panic("pfs: need at least one OSS and one OST")
+	}
+	fs := &FS{
+		k:      k,
+		cfg:    cfg,
+		fabric: sim.NewResource("pfs/fabric", cfg.FabricBW),
+		files:  make(map[string]*File),
+	}
+	fs.mds = sim.NewResource("pfs/mds", cfg.MDSOpsPerSec)
+	fs.mds.Latency = cfg.MDSLatency
+	for i := 0; i < cfg.OSSCount; i++ {
+		oss := &ossNode{nic: sim.NewResource(fmt.Sprintf("pfs/oss-%d/nic", i), cfg.OSSNICBW)}
+		for j := 0; j < cfg.OSTsPerOSS; j++ {
+			d := sim.NewResource(fmt.Sprintf("pfs/ost-%d", i*cfg.OSTsPerOSS+j), cfg.OSTBW)
+			d.Latency = cfg.OSTLatency
+			fs.osts = append(fs.osts, &ost{disk: d, oss: oss})
+		}
+	}
+	return fs
+}
+
+// OSTCount reports the number of object storage targets.
+func (fs *FS) OSTCount() int { return len(fs.osts) }
+
+// Config returns the configuration the FS was built with.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// ---- Instant (non-simulated) access, for dataset setup and verification.
+
+// Put stores data at path with the default stripe layout, charging no
+// virtual time. It is the generator/test back door.
+func (fs *FS) Put(path string, data []byte) *File {
+	return fs.PutStriped(path, data, fs.cfg.DefaultStripeSize, fs.cfg.DefaultStripeCount)
+}
+
+// PutStriped stores data with an explicit stripe layout, charging no
+// virtual time.
+func (fs *FS) PutStriped(path string, data []byte, stripeSize int64, stripeCount int) *File {
+	f := fs.allocate(path, stripeSize, stripeCount)
+	f.data = append([]byte(nil), data...)
+	return f
+}
+
+// Get returns the raw stored bytes, or nil if the file does not exist. No
+// virtual time is charged.
+func (fs *FS) Get(path string) []byte {
+	if f, ok := fs.files[path]; ok {
+		return f.data
+	}
+	return nil
+}
+
+// LookupFile returns the file record without charging time, or nil.
+func (fs *FS) LookupFile(path string) *File { return fs.files[path] }
+
+// Paths returns every stored path in sorted order.
+func (fs *FS) Paths() []string {
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (fs *FS) allocate(path string, stripeSize int64, stripeCount int) *File {
+	if stripeSize <= 0 {
+		stripeSize = fs.cfg.DefaultStripeSize
+	}
+	if stripeCount <= 0 || stripeCount > len(fs.osts) {
+		stripeCount = fs.cfg.DefaultStripeCount
+		if stripeCount > len(fs.osts) {
+			stripeCount = len(fs.osts)
+		}
+	}
+	f := &File{Path: path, StripeSize: stripeSize, StripeCount: stripeCount, startOST: fs.next}
+	fs.next = (fs.next + stripeCount) % len(fs.osts)
+	fs.files[path] = f
+	return f
+}
+
+// ostFor maps a stripe index of f to its target.
+func (fs *FS) ostFor(f *File, stripeIdx int64) *ost {
+	return fs.osts[(int64(f.startOST)+stripeIdx%int64(f.StripeCount))%int64(len(fs.osts))]
+}
+
+// segments decomposes the byte range [off, off+n) of f into per-OST byte
+// totals, in OST order for determinism.
+func (fs *FS) segments(f *File, off, n int64) []sim.Part {
+	perOST := map[*ost]float64{}
+	var order []*ost
+	end := off + n
+	for cur := off; cur < end; {
+		idx := cur / f.StripeSize
+		stripeEnd := (idx + 1) * f.StripeSize
+		if stripeEnd > end {
+			stripeEnd = end
+		}
+		o := fs.ostFor(f, idx)
+		if _, seen := perOST[o]; !seen {
+			order = append(order, o)
+		}
+		perOST[o] += float64(stripeEnd - cur)
+		cur = stripeEnd
+	}
+	parts := make([]sim.Part, 0, len(order))
+	for _, o := range order {
+		parts = append(parts, sim.Part{Bytes: perOST[o], Res: []*sim.Resource{o.disk, o.oss.nic, fs.fabric}})
+	}
+	return parts
+}
+
+// ---- Simulated client API.
+
+// Client is a mount point: a PFS handle plus the client-side resource path
+// (fabric hops and the client NIC) appended to every data transfer.
+type Client struct {
+	fs   *FS
+	path []*sim.Resource
+}
+
+// NewClient returns a client whose transfers additionally traverse
+// clientPath (outermost first, e.g. interlink then node NIC).
+func (fs *FS) NewClient(clientPath ...*sim.Resource) *Client {
+	return &Client{fs: fs, path: clientPath}
+}
+
+// FS returns the underlying file system.
+func (c *Client) FS() *FS { return c.fs }
+
+// metaOp charges one metadata round trip on the MDS.
+func (c *Client) metaOp(p *sim.Proc) {
+	p.Transfer(1, c.fs.mds)
+}
+
+// Stat returns the file's size after one MDS round trip.
+func (c *Client) Stat(p *sim.Proc, path string) (int64, error) {
+	c.metaOp(p)
+	f, ok := c.fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("pfs: stat %s: no such file", path)
+	}
+	return f.Size(), nil
+}
+
+// List returns the sorted paths directly under dir (one MDS op per
+// directory page of 1000 entries).
+func (c *Client) List(p *sim.Proc, dir string) ([]string, error) {
+	c.metaOp(p)
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var out []string
+	for path := range c.fs.files {
+		if strings.HasPrefix(path, prefix) && !strings.Contains(path[len(prefix):], "/") {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	for i := 1000; i < len(out); i += 1000 {
+		c.metaOp(p)
+	}
+	return out, nil
+}
+
+// Create allocates an empty file (one MDS op). Stripe parameters <= 0 take
+// the FS defaults.
+func (c *Client) Create(p *sim.Proc, path string, stripeSize int64, stripeCount int) (*File, error) {
+	c.metaOp(p)
+	if _, exists := c.fs.files[path]; exists {
+		return nil, fmt.Errorf("pfs: create %s: file exists", path)
+	}
+	return c.fs.allocate(path, stripeSize, stripeCount), nil
+}
+
+// ReadAt reads n bytes at offset off, blocking in virtual time while the
+// per-OST segments stream in parallel over the storage fabric and the
+// client path. Short reads at EOF return what is available.
+func (c *Client) ReadAt(p *sim.Proc, path string, off, n int64) ([]byte, error) {
+	f, ok := c.fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("pfs: read %s: no such file", path)
+	}
+	if off < 0 {
+		return nil, fmt.Errorf("pfs: read %s: negative offset", path)
+	}
+	if off >= f.Size() {
+		return nil, nil
+	}
+	if off+n > f.Size() {
+		n = f.Size() - off
+	}
+	parts := c.fs.segments(f, off, n)
+	for i := range parts {
+		parts[i].Res = append(parts[i].Res, c.path...)
+	}
+	p.TransferAll(parts...)
+	out := make([]byte, n)
+	copy(out, f.data[off:off+n])
+	return out, nil
+}
+
+// WriteAt writes data at offset off, extending the file with zeros if the
+// offset is past EOF, charging the same striped parallel path as ReadAt.
+func (c *Client) WriteAt(p *sim.Proc, path string, data []byte, off int64) error {
+	f, ok := c.fs.files[path]
+	if !ok {
+		return fmt.Errorf("pfs: write %s: no such file", path)
+	}
+	if off < 0 {
+		return fmt.Errorf("pfs: write %s: negative offset", path)
+	}
+	end := off + int64(len(data))
+	if end > f.Size() {
+		f.data = append(f.data, make([]byte, end-f.Size())...)
+	}
+	parts := c.fs.segments(f, off, int64(len(data)))
+	for i := range parts {
+		parts[i].Res = append(parts[i].Res, c.path...)
+	}
+	p.TransferAll(parts...)
+	copy(f.data[off:end], data)
+	return nil
+}
+
+// Append writes data at the current EOF.
+func (c *Client) Append(p *sim.Proc, path string, data []byte) error {
+	f, ok := c.fs.files[path]
+	if !ok {
+		return fmt.Errorf("pfs: append %s: no such file", path)
+	}
+	return c.WriteAt(p, path, data, f.Size())
+}
+
+// Remove deletes a file (one MDS op).
+func (c *Client) Remove(p *sim.Proc, path string) error {
+	c.metaOp(p)
+	if _, ok := c.fs.files[path]; !ok {
+		return fmt.Errorf("pfs: remove %s: no such file", path)
+	}
+	delete(c.fs.files, path)
+	return nil
+}
+
+// Reader adapts a file to the random-access interface scientific-format
+// readers consume, charging virtual time on every call.
+type Reader struct {
+	c    *Client
+	p    *sim.Proc
+	path string
+	size int64
+}
+
+// OpenReader stats the file (one MDS op) and returns a positioned reader.
+func (c *Client) OpenReader(p *sim.Proc, path string) (*Reader, error) {
+	size, err := c.Stat(p, path)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{c: c, p: p, path: path, size: size}, nil
+}
+
+// Size returns the file length observed at open time.
+func (r *Reader) Size() int64 { return r.size }
+
+// ReadAt reads n bytes at off in virtual time.
+func (r *Reader) ReadAt(off, n int64) ([]byte, error) {
+	return r.c.ReadAt(r.p, r.path, off, n)
+}

@@ -1,0 +1,478 @@
+// Package rframe provides the R-style data layer SciDP exposes to users:
+// column-oriented data frames with filtering/ordering/summary verbs, a
+// read.table-style CSV parser (the slow text path the baseline solutions
+// pay for), conversion from multi-dimensional scientific arrays into
+// frames ("Multi-dimensional array will be prepared as R data frame",
+// Section IV-E2), and 2-D image plotting (plot.go).
+package rframe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is a column's element type.
+type Kind uint8
+
+// Column kinds.
+const (
+	Float Kind = iota + 1
+	Int
+	String
+)
+
+// Column is one named, typed vector.
+type Column struct {
+	// Name is the column label.
+	Name string
+	// Kind selects which slice is populated.
+	Kind Kind
+	// F holds Float data.
+	F []float64
+	// I holds Int data.
+	I []int64
+	// S holds String data.
+	S []string
+}
+
+// Len returns the column length.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case Float:
+		return len(c.F)
+	case Int:
+		return len(c.I)
+	case String:
+		return len(c.S)
+	}
+	return 0
+}
+
+// Float64At returns row i as float64 (strings parse, NaN on failure).
+func (c *Column) Float64At(i int) float64 {
+	switch c.Kind {
+	case Float:
+		return c.F[i]
+	case Int:
+		return float64(c.I[i])
+	case String:
+		v, err := strconv.ParseFloat(c.S[i], 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return v
+	}
+	return math.NaN()
+}
+
+// StringAt renders row i as a string.
+func (c *Column) StringAt(i int) string {
+	switch c.Kind {
+	case Float:
+		return strconv.FormatFloat(c.F[i], 'g', -1, 64)
+	case Int:
+		return strconv.FormatInt(c.I[i], 10)
+	case String:
+		return c.S[i]
+	}
+	return ""
+}
+
+// Frame is a column-oriented table.
+type Frame struct {
+	cols  []*Column
+	index map[string]int
+}
+
+// New returns an empty frame.
+func New() *Frame { return &Frame{index: map[string]int{}} }
+
+// NumRows returns the row count (0 for an empty frame).
+func (f *Frame) NumRows() int {
+	if len(f.cols) == 0 {
+		return 0
+	}
+	return f.cols[0].Len()
+}
+
+// NumCols returns the column count.
+func (f *Frame) NumCols() int { return len(f.cols) }
+
+// Names returns the column names in order.
+func (f *Frame) Names() []string {
+	out := make([]string, len(f.cols))
+	for i, c := range f.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Col returns the named column, or nil.
+func (f *Frame) Col(name string) *Column {
+	if i, ok := f.index[name]; ok {
+		return f.cols[i]
+	}
+	return nil
+}
+
+// Columns returns the columns in order.
+func (f *Frame) Columns() []*Column { return f.cols }
+
+func (f *Frame) add(c *Column) error {
+	if _, dup := f.index[c.Name]; dup {
+		return fmt.Errorf("rframe: duplicate column %q", c.Name)
+	}
+	if len(f.cols) > 0 && c.Len() != f.NumRows() {
+		return fmt.Errorf("rframe: column %q has %d rows, frame has %d", c.Name, c.Len(), f.NumRows())
+	}
+	f.index[c.Name] = len(f.cols)
+	f.cols = append(f.cols, c)
+	return nil
+}
+
+// AddFloat appends a float column.
+func (f *Frame) AddFloat(name string, vals []float64) error {
+	return f.add(&Column{Name: name, Kind: Float, F: vals})
+}
+
+// AddInt appends an integer column.
+func (f *Frame) AddInt(name string, vals []int64) error {
+	return f.add(&Column{Name: name, Kind: Int, I: vals})
+}
+
+// AddString appends a string column.
+func (f *Frame) AddString(name string, vals []string) error {
+	return f.add(&Column{Name: name, Kind: String, S: vals})
+}
+
+// MustAddFloat is AddFloat that panics on error (builder convenience).
+func (f *Frame) MustAddFloat(name string, vals []float64) *Frame {
+	if err := f.AddFloat(name, vals); err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// MustAddInt is AddInt that panics on error.
+func (f *Frame) MustAddInt(name string, vals []int64) *Frame {
+	if err := f.AddInt(name, vals); err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// MustAddString is AddString that panics on error.
+func (f *Frame) MustAddString(name string, vals []string) *Frame {
+	if err := f.AddString(name, vals); err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Select returns a frame with only the named columns (shared storage).
+func (f *Frame) Select(names ...string) (*Frame, error) {
+	out := New()
+	for _, n := range names {
+		c := f.Col(n)
+		if c == nil {
+			return nil, fmt.Errorf("rframe: no column %q", n)
+		}
+		if err := out.add(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// gather builds a new frame keeping rows[i] order from f.
+func (f *Frame) gather(rows []int) *Frame {
+	out := New()
+	for _, c := range f.cols {
+		nc := &Column{Name: c.Name, Kind: c.Kind}
+		switch c.Kind {
+		case Float:
+			nc.F = make([]float64, len(rows))
+			for i, r := range rows {
+				nc.F[i] = c.F[r]
+			}
+		case Int:
+			nc.I = make([]int64, len(rows))
+			for i, r := range rows {
+				nc.I[i] = c.I[r]
+			}
+		case String:
+			nc.S = make([]string, len(rows))
+			for i, r := range rows {
+				nc.S[i] = c.S[r]
+			}
+		}
+		out.add(nc)
+	}
+	return out
+}
+
+// Filter keeps rows where keep(i) is true.
+func (f *Frame) Filter(keep func(row int) bool) *Frame {
+	var rows []int
+	for i := 0; i < f.NumRows(); i++ {
+		if keep(i) {
+			rows = append(rows, i)
+		}
+	}
+	return f.gather(rows)
+}
+
+// OrderBy returns a copy sorted by the named column (stable).
+func (f *Frame) OrderBy(name string, desc bool) (*Frame, error) {
+	c := f.Col(name)
+	if c == nil {
+		return nil, fmt.Errorf("rframe: no column %q", name)
+	}
+	rows := make([]int, f.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		if c.Kind == String {
+			if desc {
+				return c.S[rows[a]] > c.S[rows[b]]
+			}
+			return c.S[rows[a]] < c.S[rows[b]]
+		}
+		va, vb := c.Float64At(rows[a]), c.Float64At(rows[b])
+		if desc {
+			return va > vb
+		}
+		return va < vb
+	})
+	return f.gather(rows), nil
+}
+
+// Head returns the first n rows (all rows if n exceeds the count).
+func (f *Frame) Head(n int) *Frame {
+	if n > f.NumRows() {
+		n = f.NumRows()
+	}
+	if n < 0 {
+		n = 0
+	}
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return f.gather(rows)
+}
+
+// TopK returns the k rows with the largest values in the named column —
+// the paper's "top 10 data points are highlighted" analysis.
+func (f *Frame) TopK(name string, k int) (*Frame, error) {
+	sorted, err := f.OrderBy(name, true)
+	if err != nil {
+		return nil, err
+	}
+	return sorted.Head(k), nil
+}
+
+// TopFraction returns the top fraction (0 < frac <= 1) of rows by the
+// named column — the paper's "top 1% data is selected" analysis.
+func (f *Frame) TopFraction(name string, frac float64) (*Frame, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("rframe: fraction %v outside (0,1]", frac)
+	}
+	k := int(math.Ceil(frac * float64(f.NumRows())))
+	return f.TopK(name, k)
+}
+
+// Append concatenates other's rows below f's (schemas must match).
+func (f *Frame) Append(other *Frame) error {
+	if len(f.cols) == 0 {
+		for _, c := range other.cols {
+			nc := *c
+			if err := f.add(&nc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if len(other.cols) != len(f.cols) {
+		return fmt.Errorf("rframe: append schema mismatch: %d vs %d columns", len(other.cols), len(f.cols))
+	}
+	for i, c := range f.cols {
+		oc := other.cols[i]
+		if oc.Name != c.Name || oc.Kind != c.Kind {
+			return fmt.Errorf("rframe: append column %d mismatch: %s/%v vs %s/%v", i, c.Name, c.Kind, oc.Name, oc.Kind)
+		}
+		c.F = append(c.F, oc.F...)
+		c.I = append(c.I, oc.I...)
+		c.S = append(c.S, oc.S...)
+	}
+	return nil
+}
+
+// Stats summarizes a numeric column.
+type Stats struct {
+	// N is the value count.
+	N int
+	// Min and Max bound the values.
+	Min, Max float64
+	// Mean is the arithmetic mean.
+	Mean float64
+	// SD is the population standard deviation.
+	SD float64
+}
+
+// Summary computes Stats over the named numeric column.
+func (f *Frame) Summary(name string) (Stats, error) {
+	c := f.Col(name)
+	if c == nil {
+		return Stats{}, fmt.Errorf("rframe: no column %q", name)
+	}
+	n := c.Len()
+	if n == 0 {
+		return Stats{}, nil
+	}
+	st := Stats{N: n, Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := c.Float64At(i)
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+		sum += v
+		sumsq += v * v
+	}
+	st.Mean = sum / float64(n)
+	st.SD = math.Sqrt(sumsq/float64(n) - st.Mean*st.Mean)
+	return st, nil
+}
+
+// FromArray3D converts one 3-D float32 slab into a tidy frame: one row per
+// cell with integer coordinate columns (global coordinates = origin +
+// local index) and a float value column. This is SciDP's array-to-R
+// conversion; the coordinate columns are what the paper's SQL analyses
+// group and join on.
+func FromArray3D(dimNames [3]string, origin [3]int, shape [3]int, vals []float32, valueName string) (*Frame, error) {
+	n := shape[0] * shape[1] * shape[2]
+	if len(vals) != n {
+		return nil, fmt.Errorf("rframe: %d values for shape %v", len(vals), shape)
+	}
+	d0 := make([]int64, n)
+	d1 := make([]int64, n)
+	d2 := make([]int64, n)
+	v := make([]float64, n)
+	i := 0
+	for a := 0; a < shape[0]; a++ {
+		for b := 0; b < shape[1]; b++ {
+			for c := 0; c < shape[2]; c++ {
+				d0[i] = int64(origin[0] + a)
+				d1[i] = int64(origin[1] + b)
+				d2[i] = int64(origin[2] + c)
+				v[i] = float64(vals[i])
+				i++
+			}
+		}
+	}
+	f := New()
+	if err := f.AddInt(dimNames[0], d0); err != nil {
+		return nil, err
+	}
+	if err := f.AddInt(dimNames[1], d1); err != nil {
+		return nil, err
+	}
+	if err := f.AddInt(dimNames[2], d2); err != nil {
+		return nil, err
+	}
+	if err := f.AddFloat(valueName, v); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// WriteCSV renders the frame as a header line plus comma-separated rows.
+func (f *Frame) WriteCSV() []byte {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(f.Names(), ","))
+	sb.WriteByte('\n')
+	for r := 0; r < f.NumRows(); r++ {
+		for i, c := range f.cols {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(c.StringAt(r))
+		}
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+// ReadTable parses CSV text with a header row, inferring each column as
+// Int, Float, or String — the read.table path whose sequential parse
+// dominates the text-based baselines in the paper's Figure 7.
+func ReadTable(text []byte) (*Frame, error) {
+	lines := strings.Split(strings.TrimRight(string(text), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return nil, fmt.Errorf("rframe: empty table")
+	}
+	names := strings.Split(lines[0], ",")
+	ncol := len(names)
+	raw := make([][]string, ncol)
+	for _, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != ncol {
+			return nil, fmt.Errorf("rframe: row has %d fields, header has %d", len(fields), ncol)
+		}
+		for i, v := range fields {
+			raw[i] = append(raw[i], v)
+		}
+	}
+	f := New()
+	for i, name := range names {
+		col := inferColumn(strings.TrimSpace(name), raw[i])
+		if err := f.add(col); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// inferColumn type-infers a raw string vector: all-int, else all-float,
+// else string.
+func inferColumn(name string, vals []string) *Column {
+	isInt, isFloat := true, true
+	for _, v := range vals {
+		if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+			isInt = false
+		}
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			isFloat = false
+		}
+		if !isInt && !isFloat {
+			break
+		}
+	}
+	switch {
+	case isInt:
+		out := make([]int64, len(vals))
+		for i, v := range vals {
+			out[i], _ = strconv.ParseInt(v, 10, 64)
+		}
+		return &Column{Name: name, Kind: Int, I: out}
+	case isFloat:
+		out := make([]float64, len(vals))
+		for i, v := range vals {
+			out[i], _ = strconv.ParseFloat(v, 64)
+		}
+		return &Column{Name: name, Kind: Float, F: out}
+	default:
+		return &Column{Name: name, Kind: String, S: vals}
+	}
+}

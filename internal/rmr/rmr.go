@@ -1,0 +1,134 @@
+// Package rmr is the analogue of RHadoop's rmr2 and rhdfs packages: it
+// lets R-style user code — functions over rframe data frames — run as
+// MapReduce jobs, and moves frames and binary artifacts (plotted PNGs) in
+// and out of HDFS. The paper's point is that SciDP "only requires the
+// rhdfs and rmr2 package to work" (Section IV-E3); this package is that
+// minimal contract.
+package rmr
+
+import (
+	"fmt"
+
+	"scidp/internal/cluster"
+	"scidp/internal/hdfs"
+	"scidp/internal/mapreduce"
+	"scidp/internal/rframe"
+	"scidp/internal/sim"
+)
+
+// Ctx wraps the engine's task context with frame-aware emission.
+type Ctx struct {
+	// TC is the underlying engine context (Charge, Phase, Counter,
+	// Proc all available).
+	TC *mapreduce.TaskContext
+}
+
+// Keyval emits a keyed data frame.
+func (c *Ctx) Keyval(key string, df *rframe.Frame) { c.TC.Emit(key, df) }
+
+// KeyvalBytes emits a keyed binary artifact (e.g. an encoded PNG).
+func (c *Ctx) KeyvalBytes(key string, data []byte) { c.TC.Emit(key, data) }
+
+// MapFn is an R-style map function: one input record (a keyed frame, or
+// whatever the input format produces) in, keyed frames/bytes out.
+type MapFn func(c *Ctx, key string, value any) error
+
+// ReduceFn is an R-style reduce function over one key's grouped values.
+type ReduceFn func(c *Ctx, key string, values []any) error
+
+// Spec describes an rmr job.
+type Spec struct {
+	// Name labels the job.
+	Name string
+	// Cluster is the Hadoop cluster to run on.
+	Cluster *cluster.Cluster
+	// SlotsPerNode bounds per-node concurrency (0 = node capacity).
+	SlotsPerNode int
+	// Input produces the records (SciDP's input format, an HDFS text
+	// format, ...).
+	Input mapreduce.InputFormat
+	// Map is the user's map function.
+	Map MapFn
+	// Reduce is the user's reduce function (nil = map-only).
+	Reduce ReduceFn
+	// NumReducers is the reduce task count.
+	NumReducers int
+	// TaskStartup overrides the per-task launch cost.
+	TaskStartup float64
+	// MaxAttempts bounds task retries.
+	MaxAttempts int
+}
+
+// MapReduce runs the job from the driver process p.
+func MapReduce(p *sim.Proc, spec Spec) (*mapreduce.Result, error) {
+	if spec.Map == nil {
+		return nil, fmt.Errorf("rmr: spec needs a Map function")
+	}
+	job := &mapreduce.Job{
+		Name:         spec.Name,
+		Cluster:      spec.Cluster,
+		SlotsPerNode: spec.SlotsPerNode,
+		Input:        spec.Input,
+		NumReducers:  spec.NumReducers,
+		TaskStartup:  spec.TaskStartup,
+		MaxAttempts:  spec.MaxAttempts,
+		PairBytes:    PairBytes,
+		Map: func(tc *mapreduce.TaskContext, key string, value any) error {
+			return spec.Map(&Ctx{TC: tc}, key, value)
+		},
+	}
+	if spec.Reduce != nil {
+		job.Reduce = func(tc *mapreduce.TaskContext, key string, values []any) error {
+			return spec.Reduce(&Ctx{TC: tc}, key, values)
+		}
+	}
+	return job.Run(p)
+}
+
+// PairBytes sizes intermediate pairs for shuffle accounting: frames by
+// their CSV-equivalent footprint, byte slices by length.
+func PairBytes(kv mapreduce.KV) int64 {
+	switch v := kv.V.(type) {
+	case *rframe.Frame:
+		// Approximate: 12 bytes per numeric cell, actual length for
+		// strings, plus the key.
+		var b int64
+		for _, c := range v.Columns() {
+			if c.Kind == rframe.String {
+				for _, s := range c.S {
+					b += int64(len(s)) + 1
+				}
+			} else {
+				b += int64(c.Len()) * 12
+			}
+		}
+		return b + int64(len(kv.K))
+	case []byte:
+		return int64(len(v)) + int64(len(kv.K))
+	case string:
+		return int64(len(v)) + int64(len(kv.K))
+	default:
+		return int64(len(kv.K)) + 16
+	}
+}
+
+// ---- rhdfs-style helpers.
+
+// WriteFrame stores df as a CSV file on HDFS, written from node.
+func WriteFrame(p *sim.Proc, fs *hdfs.FS, node *cluster.Node, path string, df *rframe.Frame) error {
+	return fs.WriteFile(p, node, path, df.WriteCSV())
+}
+
+// ReadFrame loads a CSV file from HDFS into a frame, read from node.
+func ReadFrame(p *sim.Proc, fs *hdfs.FS, node *cluster.Node, path string) (*rframe.Frame, error) {
+	data, err := fs.ReadFile(p, node, path)
+	if err != nil {
+		return nil, err
+	}
+	return rframe.ReadTable(data)
+}
+
+// WriteBytes stores a binary artifact (an image) on HDFS from node.
+func WriteBytes(p *sim.Proc, fs *hdfs.FS, node *cluster.Node, path string, data []byte) error {
+	return fs.WriteFile(p, node, path, data)
+}

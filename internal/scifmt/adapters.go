@@ -1,0 +1,183 @@
+package scifmt
+
+import (
+	"fmt"
+
+	"scidp/internal/hdf5lite"
+	"scidp/internal/netcdf"
+)
+
+// NetCDF returns the Format plugin for the netCDF-like format.
+func NetCDF() Format { return netcdfFormat{} }
+
+// HDF5 returns the Format plugin for the hierarchical hdf5lite format.
+func HDF5() Format { return hdf5Format{} }
+
+// Default returns a registry with both built-in formats installed, netCDF
+// probed first (matching the paper's NU-WRF deployment).
+func Default() *Registry {
+	r := NewRegistry()
+	r.Register(NetCDF())
+	r.Register(HDF5())
+	return r
+}
+
+// ---- netCDF adapter.
+
+type netcdfFormat struct{}
+
+func (netcdfFormat) Name() string { return "netcdf" }
+
+func (netcdfFormat) Detect(r ReaderAt) bool { return netcdf.Detect(r) }
+
+func (netcdfFormat) Explore(r ReaderAt) (*Info, error) {
+	f, err := netcdf.Open(r)
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{Format: "netcdf", Attrs: map[string]string{}}
+	for _, a := range f.GlobalAttrs() {
+		info.Attrs[a.Name] = attrString(a)
+	}
+	for _, v := range f.Vars() {
+		entry := VarEntry{
+			Path:        v.Name,
+			TypeName:    v.Type.String(),
+			ElemSize:    v.Type.Size(),
+			Shape:       v.Shape(),
+			RawBytes:    v.RawBytes(),
+			StoredBytes: v.StoredBytes(),
+		}
+		for _, d := range v.Dims {
+			entry.DimNames = append(entry.DimNames, d.Name)
+		}
+		for _, c := range v.Chunks {
+			start, extent := chunkBox(v.Shape(), v.ChunkShape, c.Index)
+			entry.Segments = append(entry.Segments, Segment{
+				Offset:     c.Offset,
+				StoredSize: c.StoredSize,
+				RawSize:    c.RawSize,
+				Start:      start,
+				Extent:     extent,
+			})
+		}
+		info.Vars = append(info.Vars, entry)
+	}
+	return info, nil
+}
+
+func (netcdfFormat) ReadSlab(r ReaderAt, varPath string, start, count []int) ([]byte, error) {
+	f, err := netcdf.Open(r)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := f.GetVara(varPath, start, count)
+	if err != nil {
+		return nil, err
+	}
+	return arr.Data, nil
+}
+
+// chunkBox computes a chunk's global start and clamped extent.
+func chunkBox(shape, chunkShape, index []int) (start, extent []int) {
+	start = make([]int, len(shape))
+	extent = make([]int, len(shape))
+	if chunkShape == nil {
+		copy(extent, shape)
+		return start, extent
+	}
+	for i := range shape {
+		start[i] = index[i] * chunkShape[i]
+		e := chunkShape[i]
+		if start[i]+e > shape[i] {
+			e = shape[i] - start[i]
+		}
+		extent[i] = e
+	}
+	return start, extent
+}
+
+func attrString(a netcdf.Attr) string {
+	switch a.Kind {
+	case netcdf.AttrString:
+		return a.Str
+	case netcdf.AttrFloat64:
+		return fmt.Sprintf("%g", a.F64)
+	case netcdf.AttrInt64:
+		return fmt.Sprintf("%d", a.I64)
+	}
+	return ""
+}
+
+// ---- hdf5lite adapter.
+
+type hdf5Format struct{}
+
+func (hdf5Format) Name() string { return "hdf5" }
+
+func (hdf5Format) Detect(r ReaderAt) bool { return hdf5lite.IsHDF5(r) }
+
+func (hdf5Format) Explore(r ReaderAt) (*Info, error) {
+	f, err := hdf5lite.Open(r)
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{Format: "hdf5", Attrs: map[string]string{}}
+	for k, v := range f.Root().Attrs {
+		info.Attrs[k] = v
+	}
+	var walk func(g *hdf5lite.Group, prefix string)
+	walk = func(g *hdf5lite.Group, prefix string) {
+		for _, d := range g.Datasets {
+			entry := VarEntry{
+				Path:        JoinPath(prefix, d.Name),
+				TypeName:    d.Type.String(),
+				ElemSize:    d.Type.Size(),
+				Shape:       append([]int(nil), d.Shape...),
+				RawBytes:    d.RawBytes(),
+				StoredBytes: d.StoredBytes(),
+			}
+			for _, c := range d.Chunks {
+				start := make([]int, len(d.Shape))
+				extent := append([]int(nil), d.Shape...)
+				start[0] = c.RowStart
+				extent[0] = c.Rows
+				entry.Segments = append(entry.Segments, Segment{
+					Offset:     c.Offset,
+					StoredSize: c.StoredSize,
+					RawSize:    c.RawSize,
+					Start:      start,
+					Extent:     extent,
+				})
+			}
+			info.Vars = append(info.Vars, entry)
+		}
+		for _, c := range g.Children {
+			walk(c, JoinPath(prefix, c.Name))
+		}
+	}
+	walk(f.Root(), "")
+	return info, nil
+}
+
+func (hdf5Format) ReadSlab(r ReaderAt, varPath string, start, count []int) ([]byte, error) {
+	f, err := hdf5lite.Open(r)
+	if err != nil {
+		return nil, err
+	}
+	d, err := f.Find(varPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(start) != len(d.Shape) || len(count) != len(d.Shape) {
+		return nil, fmt.Errorf("scifmt/hdf5: slab rank %d != dataset rank %d", len(start), len(d.Shape))
+	}
+	// The hierarchical format chunks along the leading dimension only, so
+	// slabs must span the trailing dimensions fully.
+	for i := 1; i < len(d.Shape); i++ {
+		if start[i] != 0 || count[i] != d.Shape[i] {
+			return nil, fmt.Errorf("scifmt/hdf5: only leading-dimension slabs supported (dim %d: [%d,+%d) of %d)", i, start[i], count[i], d.Shape[i])
+		}
+	}
+	return f.ReadRows(d, start[0], count[0])
+}

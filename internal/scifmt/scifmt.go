@@ -1,0 +1,149 @@
+// Package scifmt is the pluggable format layer behind SciDP's Sci-format
+// Head Reader. The paper makes input-format support modular: "Users only
+// need to provide a file structure explorer and a corresponding reader to
+// add support of arbitrary file formats" (Section III-B). A Format couples
+// those two pieces — Detect/Explore (the structure explorer) and ReadSlab
+// (the reader) — and a Registry holds the installed formats so the File
+// Explorer can classify each input file as scientific (some format
+// detects it) or flat (none does).
+package scifmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ReaderAt is the random-access source formats parse (identical to
+// netcdf.ReaderAt; redeclared so this package stays format-agnostic).
+type ReaderAt interface {
+	ReadAt(off, n int64) ([]byte, error)
+	Size() int64
+}
+
+// Segment locates one stored chunk of a variable within its file and the
+// array box it decodes to — the unit SciDP's Data Mapper turns into a
+// dummy HDFS block.
+type Segment struct {
+	// Offset is the chunk's absolute file offset.
+	Offset int64
+	// StoredSize is the on-disk (possibly compressed) payload length.
+	StoredSize int64
+	// RawSize is the decompressed payload length.
+	RawSize int64
+	// Start is the chunk origin in global array coordinates.
+	Start []int
+	// Extent is the chunk's (clamped) extent per dimension.
+	Extent []int
+}
+
+// VarEntry describes one mappable variable of a scientific file.
+type VarEntry struct {
+	// Path is the variable's slash-separated location within the file —
+	// a bare name for flat formats ("QR"), a group path for hierarchical
+	// ones ("model/physics/QR"). It becomes the virtual file's path
+	// under the mirrored HDFS directory.
+	Path string
+	// TypeName names the element type ("float", "int64", ...).
+	TypeName string
+	// ElemSize is the element width in bytes.
+	ElemSize int
+	// Shape is the variable extent per dimension.
+	Shape []int
+	// DimNames names the dimensions, parallel to Shape (may be empty for
+	// formats without named dimensions).
+	DimNames []string
+	// Segments is the chunk index in storage order.
+	Segments []Segment
+	// RawBytes is the uncompressed variable payload size.
+	RawBytes int64
+	// StoredBytes is the on-disk payload size.
+	StoredBytes int64
+}
+
+// Info is the explored structure of one scientific file.
+type Info struct {
+	// Format is the detecting format's name ("netcdf", "hdf5").
+	Format string
+	// Attrs are the file's global attributes, stringified.
+	Attrs map[string]string
+	// Vars lists every variable in file order.
+	Vars []VarEntry
+}
+
+// Var returns the entry whose Path matches, or an error.
+func (in *Info) Var(path string) (*VarEntry, error) {
+	for i := range in.Vars {
+		if in.Vars[i].Path == path {
+			return &in.Vars[i], nil
+		}
+	}
+	return nil, fmt.Errorf("scifmt: no variable %q in %s file", path, in.Format)
+}
+
+// Format is one scientific data format plugin.
+type Format interface {
+	// Name identifies the format.
+	Name() string
+	// Detect reports whether r is in this format (a cheap magic probe —
+	// the nc_open / H5Fis_hdf5 check the paper describes).
+	Detect(r ReaderAt) bool
+	// Explore parses metadata only and returns the file structure.
+	Explore(r ReaderAt) (*Info, error)
+	// ReadSlab reads the hyperslab [start, start+count) of the variable
+	// at varPath, returning raw little-endian row-major bytes.
+	ReadSlab(r ReaderAt, varPath string, start, count []int) ([]byte, error)
+}
+
+// Registry holds installed formats in registration order.
+type Registry struct {
+	formats []Format
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register appends a format. Registering a duplicate name panics — format
+// names key mapping metadata, so a collision is a programming error.
+func (r *Registry) Register(f Format) {
+	for _, g := range r.formats {
+		if g.Name() == f.Name() {
+			panic("scifmt: duplicate format " + f.Name())
+		}
+	}
+	r.formats = append(r.formats, f)
+}
+
+// Formats returns the installed formats in registration order.
+func (r *Registry) Formats() []Format { return append([]Format(nil), r.formats...) }
+
+// Lookup returns the named format, or false.
+func (r *Registry) Lookup(name string) (Format, bool) {
+	for _, f := range r.formats {
+		if f.Name() == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Detect probes installed formats in order and returns the first match —
+// the Sci-format Head Reader's decision. ok is false for flat files.
+func (r *Registry) Detect(src ReaderAt) (Format, bool) {
+	for _, f := range r.formats {
+		if f.Detect(src) {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// JoinPath joins group components into a variable path.
+func JoinPath(parts ...string) string {
+	var nonEmpty []string
+	for _, p := range parts {
+		if p != "" {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
+	return strings.Join(nonEmpty, "/")
+}

@@ -1,0 +1,381 @@
+// Package sim provides a deterministic discrete-event simulation kernel
+// used to account virtual time for every experiment in this repository.
+//
+// The kernel advances a virtual clock over a heap of events. Simulated
+// activities run as processes (Proc): ordinary goroutines that hand control
+// back and forth with the kernel one at a time, so execution is fully
+// deterministic regardless of GOMAXPROCS. Data movement is modeled at flow
+// level: a Flow crosses a set of Resources (disks, NICs, switch fabrics)
+// and at any instant receives rate min over its resources of
+// capacity/activeFlows — a progressive-filling approximation of max-min
+// fair sharing that reproduces the contention effects (shared OSTs, shared
+// fabric, local-versus-remote reads) the SciDP paper's measurements hinge
+// on.
+//
+// Time is a float64 in seconds. Sizes are float64 bytes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// epsBytes is the slack under which a flow's remaining bytes count as zero.
+const epsBytes = 1e-6
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, insertion sequence) for determinism.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Kernel is the simulation engine. Create one with NewKernel, start
+// processes with Go, then call Run to execute until no work remains.
+// A Kernel must not be shared across real OS threads while running.
+type Kernel struct {
+	now        float64
+	seq        uint64
+	events     eventHeap
+	flows      map[*Flow]struct{}
+	flowSeq    uint64
+	lastSettle float64
+	flowEpoch  uint64 // invalidates stale completion events
+	failure    error  // first process panic, re-raised by Run
+	liveProcs  int
+	tracer     *Tracer
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{flows: make(map[*Flow]struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// schedule enqueues fn to run at virtual time at (>= now).
+func (k *Kernel) schedule(at float64, fn func()) {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now. It is the low-level timer
+// primitive; processes should normally use Proc.Sleep.
+func (k *Kernel) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.schedule(k.now+d, fn)
+}
+
+// Run executes events until the queue drains. It panics with the original
+// value if any process panicked. Run may be called again after it returns
+// (e.g. after starting more processes).
+func (k *Kernel) Run() {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*event)
+		if e.at > k.now {
+			k.now = e.at
+		}
+		e.fn()
+		if k.failure != nil {
+			panic(k.failure)
+		}
+	}
+	if k.liveProcs > 0 {
+		panic(fmt.Sprintf("sim: deadlock — %d process(es) still blocked with no pending events at t=%.6f", k.liveProcs, k.now))
+	}
+}
+
+// Proc is a simulated process. All Proc methods must be called from within
+// the process's own function; they block in virtual time.
+type Proc struct {
+	k    *Kernel
+	name string
+	wake chan struct{}
+	park chan struct{}
+}
+
+// Name returns the name the process was started with.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel the process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.k.now }
+
+// Go starts fn as a new simulated process scheduled to begin immediately
+// (at the current virtual time, after already-queued events).
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, wake: make(chan struct{}), park: make(chan struct{})}
+	k.liveProcs++
+	go func() {
+		<-p.wake
+		defer func() {
+			if r := recover(); r != nil {
+				if k.failure == nil {
+					k.failure = fmt.Errorf("sim: process %q panicked: %v", name, r)
+				}
+			}
+			k.liveProcs--
+			p.park <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.schedule(k.now, func() { k.resume(p) })
+	return p
+}
+
+// resume hands control to p and waits until p parks or exits. It must only
+// be called from event context (the Run loop), never from process context.
+func (k *Kernel) resume(p *Proc) {
+	p.wake <- struct{}{}
+	<-p.park
+}
+
+// pause yields control back to the kernel until another event resumes p.
+func (p *Proc) pause() {
+	p.park <- struct{}{}
+	<-p.wake
+}
+
+// Sleep blocks the process for d virtual seconds. Negative d sleeps zero.
+// Sleep is also how modeled compute cost is charged ("this phase takes
+// 0.55 s per image level").
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.After(d, func() { p.k.resume(p) })
+	p.pause()
+}
+
+// Yield reschedules the process behind all events already queued at the
+// current instant.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Resource is a bandwidth-capacity device: a disk, a NIC, a switch fabric,
+// an OST. Concurrent flows crossing it share its capacity fairly.
+type Resource struct {
+	// Name identifies the resource in traces and error messages.
+	Name string
+	// Capacity is the aggregate bandwidth in bytes per second. It must be
+	// positive for any flow that crosses the resource to make progress.
+	Capacity float64
+	// PerFlowCap, when positive, limits each individual flow's share
+	// (e.g. a single TCP stream that cannot saturate a bonded link).
+	PerFlowCap float64
+	// Latency, when positive, is a fixed per-operation setup delay in
+	// seconds charged once per Transfer that crosses the resource.
+	Latency float64
+
+	active int
+}
+
+// NewResource returns a resource with the given aggregate capacity in
+// bytes/second.
+func NewResource(name string, capacity float64) *Resource {
+	return &Resource{Name: name, Capacity: capacity}
+}
+
+// Active reports how many flows currently cross the resource.
+func (r *Resource) Active() int { return r.active }
+
+// Flow is an in-flight transfer across a set of resources.
+type Flow struct {
+	id        uint64
+	total     float64
+	remaining float64
+	rate      float64
+	res       []*Resource
+	onDone    func()
+}
+
+// Remaining reports the bytes the flow still has to move (settled to the
+// last recompute instant; callers outside the kernel should treat it as
+// approximate).
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// settleFlows advances every active flow's remaining-bytes to the current
+// instant using the rates fixed at the previous recompute.
+func (k *Kernel) settleFlows() {
+	dt := k.now - k.lastSettle
+	if dt > 0 {
+		for f := range k.flows {
+			f.remaining -= f.rate * dt
+		}
+	}
+	k.lastSettle = k.now
+}
+
+// recomputeFlows reassigns every flow's fair-share rate and schedules the
+// next completion event.
+func (k *Kernel) recomputeFlows() {
+	k.flowEpoch++
+	if len(k.flows) == 0 {
+		return
+	}
+	minETA := math.Inf(1)
+	for f := range k.flows {
+		rate := math.Inf(1)
+		for _, r := range f.res {
+			share := r.Capacity / float64(r.active)
+			if r.PerFlowCap > 0 && share > r.PerFlowCap {
+				share = r.PerFlowCap
+			}
+			if share < rate {
+				rate = share
+			}
+		}
+		if math.IsInf(rate, 1) {
+			// Flow crosses no resources: completes instantly.
+			rate = math.MaxFloat64
+		}
+		f.rate = rate
+		if f.rate > 0 {
+			eta := f.remaining / f.rate
+			if eta < 0 {
+				eta = 0
+			}
+			if eta < minETA {
+				minETA = eta
+			}
+		}
+	}
+	if math.IsInf(minETA, 1) {
+		return // all flows stalled on zero-capacity resources
+	}
+	epoch := k.flowEpoch
+	k.schedule(k.now+minETA, func() {
+		if epoch != k.flowEpoch {
+			return // superseded by a later membership change
+		}
+		k.completeFlows()
+	})
+}
+
+// completeFlows settles progress, finishes every flow that has drained,
+// fires completion callbacks in flow-start order, and recomputes rates.
+func (k *Kernel) completeFlows() {
+	k.settleFlows()
+	var done []*Flow
+	for f := range k.flows {
+		if f.remaining <= epsBytes {
+			done = append(done, f)
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].id < done[j].id })
+	for _, f := range done {
+		delete(k.flows, f)
+		for _, r := range f.res {
+			r.active--
+		}
+		k.traceFlowEnd(f)
+	}
+	k.recomputeFlows()
+	for _, f := range done {
+		if f.onDone != nil {
+			f.onDone()
+		}
+	}
+}
+
+// StartFlow begins moving bytes across the given resources and invokes
+// onDone (from event context) when the transfer completes. Zero or
+// negative sizes complete immediately (still asynchronously). StartFlow
+// does not charge resource Latency; Proc.Transfer does.
+func (k *Kernel) StartFlow(bytes float64, onDone func(), res ...*Resource) *Flow {
+	k.flowSeq++
+	f := &Flow{id: k.flowSeq, total: bytes, remaining: bytes, res: res, onDone: onDone}
+	k.traceFlowStart(f, "")
+	if bytes <= epsBytes {
+		k.schedule(k.now, func() {
+			if f.onDone != nil {
+				f.onDone()
+			}
+		})
+		return f
+	}
+	k.settleFlows()
+	k.flows[f] = struct{}{}
+	for _, r := range res {
+		r.active++
+	}
+	k.recomputeFlows()
+	return f
+}
+
+// Transfer moves bytes across the given resources, blocking the process in
+// virtual time until the flow drains. The sum of the resources' Latency
+// fields is charged first as a fixed delay.
+func (p *Proc) Transfer(bytes float64, res ...*Resource) {
+	lat := 0.0
+	for _, r := range res {
+		lat += r.Latency
+	}
+	if lat > 0 {
+		p.Sleep(lat)
+	}
+	p.k.StartFlow(bytes, func() { p.k.resume(p) }, res...)
+	p.pause()
+}
+
+// Part describes one leg of a parallel transfer.
+type Part struct {
+	// Bytes is the size of this leg.
+	Bytes float64
+	// Res is the resource chain this leg crosses.
+	Res []*Resource
+}
+
+// TransferAll starts every part concurrently and blocks until all of them
+// complete — the shape of a striped PFS read, where one client pulls
+// segments from many OSTs at once. Each part individually charges its
+// resources' latency before its flow starts.
+func (p *Proc) TransferAll(parts ...Part) {
+	if len(parts) == 0 {
+		return
+	}
+	remaining := len(parts)
+	finish := func() {
+		remaining--
+		if remaining == 0 {
+			p.k.resume(p)
+		}
+	}
+	for _, pt := range parts {
+		pt := pt
+		lat := 0.0
+		for _, r := range pt.Res {
+			lat += r.Latency
+		}
+		start := func() { p.k.StartFlow(pt.Bytes, finish, pt.Res...) }
+		if lat > 0 {
+			p.k.After(lat, start)
+		} else {
+			start()
+		}
+	}
+	p.pause()
+}

@@ -1,0 +1,156 @@
+package sim
+
+// Semaphore is a counting semaphore in virtual time. It models bounded
+// execution slots — YARN container slots on a Hadoop node, the per-node MPI
+// rank count, a disk's outstanding-request window.
+type Semaphore struct {
+	k        *Kernel
+	capacity int
+	held     int
+	waiters  []*Proc
+}
+
+// NewSemaphore returns a semaphore with the given number of slots.
+func (k *Kernel) NewSemaphore(capacity int) *Semaphore {
+	if capacity < 1 {
+		panic("sim: semaphore capacity must be >= 1")
+	}
+	return &Semaphore{k: k, capacity: capacity}
+}
+
+// Capacity returns the total slot count.
+func (s *Semaphore) Capacity() int { return s.capacity }
+
+// Held returns the number of slots currently taken.
+func (s *Semaphore) Held() int { return s.held }
+
+// Acquire blocks the process until a slot is free, then takes it. Waiters
+// are served strictly in arrival order.
+func (p *Proc) Acquire(s *Semaphore) {
+	if s.held < s.capacity && len(s.waiters) == 0 {
+		s.held++
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.pause()
+}
+
+// Release frees one slot. If a process is waiting, the slot transfers to
+// the head of the queue and that process resumes at the current instant.
+func (s *Semaphore) Release() {
+	if s.held <= 0 {
+		panic("sim: semaphore released more times than acquired")
+	}
+	if len(s.waiters) > 0 {
+		next := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		// The slot passes directly to next; held stays constant.
+		s.k.schedule(s.k.now, func() { s.k.resume(next) })
+		return
+	}
+	s.held--
+}
+
+// WaitGroup waits for a collection of simulated activities to finish,
+// mirroring sync.WaitGroup in virtual time.
+type WaitGroup struct {
+	k       *Kernel
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns an empty wait group.
+func (k *Kernel) NewWaitGroup() *WaitGroup { return &WaitGroup{k: k} }
+
+// Add increments the pending-activity counter by n.
+func (w *WaitGroup) Add(n int) {
+	w.count += n
+	if w.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.count == 0 {
+		w.release()
+	}
+}
+
+// Done decrements the counter by one, waking all waiters when it hits zero.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+func (w *WaitGroup) release() {
+	waiters := w.waiters
+	w.waiters = nil
+	for _, p := range waiters {
+		p := p
+		w.k.schedule(w.k.now, func() { w.k.resume(p) })
+	}
+}
+
+// Wait blocks the process until the counter reaches zero. A zero counter
+// returns immediately.
+func (p *Proc) Wait(w *WaitGroup) {
+	if w.count == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.pause()
+}
+
+// Queue is an unbounded FIFO channel between simulated processes; a shuffle
+// stream between map and reduce tasks, a request queue at a metadata
+// server.
+type Queue struct {
+	k      *Kernel
+	items  []any
+	closed bool
+	recvQ  []*Proc
+}
+
+// NewQueue returns an empty open queue.
+func (k *Kernel) NewQueue() *Queue { return &Queue{k: k} }
+
+// Push appends an item and wakes the longest-waiting receiver, if any.
+// Pushing to a closed queue panics.
+func (q *Queue) Push(v any) {
+	if q.closed {
+		panic("sim: push to closed queue")
+	}
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+// Close marks the queue complete; blocked and future receivers observe
+// ok=false once the backlog drains.
+func (q *Queue) Close() {
+	q.closed = true
+	for _, p := range q.recvQ {
+		p := p
+		q.k.schedule(q.k.now, func() { q.k.resume(p) })
+	}
+	q.recvQ = nil
+}
+
+func (q *Queue) wakeOne() {
+	if len(q.recvQ) == 0 {
+		return
+	}
+	p := q.recvQ[0]
+	q.recvQ = q.recvQ[1:]
+	q.k.schedule(q.k.now, func() { q.k.resume(p) })
+}
+
+// Pop blocks the process until an item is available or the queue is closed
+// and empty, in which case it returns (nil, false).
+func (p *Proc) Pop(q *Queue) (any, bool) {
+	for {
+		if len(q.items) > 0 {
+			v := q.items[0]
+			q.items = q.items[1:]
+			return v, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.recvQ = append(q.recvQ, p)
+		p.pause()
+	}
+}

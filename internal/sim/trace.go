@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TraceEvent is one recorded kernel occurrence.
+type TraceEvent struct {
+	// At is the virtual time of the event.
+	At float64
+	// Kind is the event type ("flow-start", "flow-end", "sleep",
+	// "proc-start", "proc-end").
+	Kind string
+	// Proc is the originating process name ("" for kernel-internal).
+	Proc string
+	// Resources names the resources a flow crosses.
+	Resources []string
+	// Bytes is the flow size (flows only).
+	Bytes float64
+}
+
+// Tracer records kernel activity when attached via Kernel.SetTracer —
+// an observability hook for debugging simulations and asserting on
+// resource usage in tests. The zero value is ready to use.
+type Tracer struct {
+	// Events accumulates in occurrence order.
+	Events []TraceEvent
+	// MaxEvents bounds the buffer (0 = unlimited); older events are
+	// dropped first.
+	MaxEvents int
+}
+
+func (t *Tracer) record(ev TraceEvent) {
+	t.Events = append(t.Events, ev)
+	if t.MaxEvents > 0 && len(t.Events) > t.MaxEvents {
+		t.Events = t.Events[len(t.Events)-t.MaxEvents:]
+	}
+}
+
+// BytesThrough totals flow bytes that crossed the named resource.
+func (t *Tracer) BytesThrough(resource string) float64 {
+	var sum float64
+	for _, ev := range t.Events {
+		if ev.Kind != "flow-end" {
+			continue
+		}
+		for _, r := range ev.Resources {
+			if r == resource {
+				sum += ev.Bytes
+				break
+			}
+		}
+	}
+	return sum
+}
+
+// Busiest returns resources ordered by total bytes moved, descending.
+func (t *Tracer) Busiest() []string {
+	totals := map[string]float64{}
+	for _, ev := range t.Events {
+		if ev.Kind != "flow-end" {
+			continue
+		}
+		for _, r := range ev.Resources {
+			totals[r] += ev.Bytes
+		}
+	}
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if totals[names[i]] != totals[names[j]] {
+			return totals[names[i]] > totals[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// String renders the trace, one event per line.
+func (t *Tracer) String() string {
+	var sb strings.Builder
+	for _, ev := range t.Events {
+		fmt.Fprintf(&sb, "%10.4f %-10s %-24s", ev.At, ev.Kind, ev.Proc)
+		if len(ev.Resources) > 0 {
+			fmt.Fprintf(&sb, " %s", strings.Join(ev.Resources, "+"))
+		}
+		if ev.Bytes > 0 {
+			fmt.Fprintf(&sb, " %.0fB", ev.Bytes)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SetTracer attaches (or detaches, with nil) a tracer to the kernel.
+func (k *Kernel) SetTracer(t *Tracer) { k.tracer = t }
+
+// traceFlowStart records a flow beginning (no-op without a tracer).
+func (k *Kernel) traceFlowStart(f *Flow, proc string) {
+	if k.tracer == nil {
+		return
+	}
+	k.tracer.record(TraceEvent{At: k.now, Kind: "flow-start", Proc: proc, Resources: resourceNames(f.res), Bytes: f.total})
+}
+
+// traceFlowEnd records a flow completing.
+func (k *Kernel) traceFlowEnd(f *Flow) {
+	if k.tracer == nil {
+		return
+	}
+	k.tracer.record(TraceEvent{At: k.now, Kind: "flow-end", Resources: resourceNames(f.res), Bytes: f.total})
+}
+
+func resourceNames(res []*Resource) []string {
+	out := make([]string, len(res))
+	for i, r := range res {
+		out[i] = r.Name
+	}
+	return out
+}

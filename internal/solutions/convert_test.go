@@ -1,0 +1,156 @@
+package solutions
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"scidp/internal/sim"
+	"scidp/internal/workloads"
+)
+
+func TestFormatCSVShape(t *testing.T) {
+	spec := workloads.NUWRFSpec{Levels: 2, Lat: 2, Lon: 3}
+	vals := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	text := formatCSV(7, spec, vals)
+	lines := strings.Split(strings.TrimRight(string(text), "\n"), "\n")
+	if lines[0] != "t,level,lat,lon,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 13 {
+		t.Fatalf("lines = %d, want 13", len(lines))
+	}
+	// Row for (level 1, lat 0, lon 2) = value 9, timestamp 7.
+	want := "7,1,0,2,9"
+	found := false
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, want) {
+			found = true
+		}
+		if !strings.HasPrefix(l, "7,") {
+			t.Fatalf("row missing timestamp: %q", l)
+		}
+	}
+	if !found {
+		t.Fatalf("missing row with prefix %q", want)
+	}
+}
+
+func TestFormatCSVInflation(t *testing.T) {
+	// The coordinates + full-precision value make text several times the
+	// raw binary (the paper's order-of-magnitude inflation vs compressed).
+	spec := workloads.NUWRFSpec{Levels: 4, Lat: 16, Lon: 16}
+	vals := make([]float32, 4*16*16)
+	for i := range vals {
+		vals[i] = float32(i) * 0.001
+	}
+	text := formatCSV(0, spec, vals)
+	raw := len(vals) * 4
+	if len(text) < 4*raw {
+		t.Fatalf("text %d bytes should be >= 4x raw %d", len(text), raw)
+	}
+}
+
+func TestGridFromCSVRoundtrip(t *testing.T) {
+	spec := workloads.NUWRFSpec{Levels: 3, Lat: 4, Lon: 5}
+	vals := make([]float32, 3*4*5)
+	for i := range vals {
+		vals[i] = float32(i)*0.25 - 3
+	}
+	text := formatCSV(9, spec, vals)
+	env := NewEnv(DefaultEnvConfig(1, 1))
+	k := env.K
+	var g *grid
+	k.Go("t", func(p *sim.Proc) {
+		sc := newSerialCtx(p, env.BD.Node(0))
+		var err error
+		g, err = gridFromCSV(env, sc, text, spec)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if sc.phases["Convert"] <= 0 {
+			t.Error("Convert phase not charged")
+		}
+	})
+	k.Run()
+	if g.t != 9 || g.levels != 3 || g.ny != 4 || g.nx != 5 {
+		t.Fatalf("grid = %+v", g)
+	}
+	for i := range vals {
+		if g.vals[i] != vals[i] {
+			t.Fatalf("value %d = %v, want %v (full-precision roundtrip)", i, g.vals[i], vals[i])
+		}
+	}
+}
+
+func TestGridFromCSVErrors(t *testing.T) {
+	env := NewEnv(DefaultEnvConfig(1, 1))
+	spec := workloads.NUWRFSpec{Levels: 1, Lat: 1, Lon: 1}
+	env.K.Go("t", func(p *sim.Proc) {
+		sc := newSerialCtx(p, env.BD.Node(0))
+		if _, err := gridFromCSV(env, sc, []byte("a,b\n1,2\n"), spec); err == nil {
+			t.Error("missing columns should fail")
+		}
+		if _, err := gridFromCSV(env, sc, []byte("t,level,lat,lon,value\n"), spec); err == nil {
+			t.Error("empty body should fail")
+		}
+		if _, err := gridFromCSV(env, sc, []byte("t,level,lat,lon,value\n0,9,0,0,1\n"), spec); err == nil {
+			t.Error("out-of-grid row should fail")
+		}
+	})
+	env.K.Run()
+}
+
+func TestConvertToCSVProducesFilesOnPFS(t *testing.T) {
+	spec := workloads.NUWRFSpec{Timestamps: 2, Levels: 2, Lat: 8, Lon: 8, Vars: 3, Dir: "/nuwrf"}
+	env := NewEnv(DefaultEnvConfig(1000, 1))
+	ds, err := workloads.Generate(env.PFS, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := &Workload{Dataset: ds, Var: "QR"}
+	var paths []string
+	var textBytes int64
+	env.K.Go("t", func(p *sim.Proc) {
+		paths, textBytes, err = ConvertToCSV(p, env, wl)
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	var total int64
+	for _, pth := range paths {
+		data := env.PFS.Get(pth)
+		if data == nil {
+			t.Fatalf("missing %s on PFS", pth)
+		}
+		total += int64(len(data))
+		if !bytes.HasPrefix(data, []byte("t,level,lat,lon,value\n")) {
+			t.Fatalf("%s missing header", pth)
+		}
+	}
+	if total != textBytes {
+		t.Fatalf("reported %d text bytes, stored %d", textBytes, total)
+	}
+}
+
+func TestSerialCtxAccumulatesPhases(t *testing.T) {
+	env := NewEnv(DefaultEnvConfig(1, 1))
+	env.K.Go("t", func(p *sim.Proc) {
+		sc := newSerialCtx(p, env.BD.Node(0))
+		sc.Charge("Plot", 1.5)
+		sc.Charge("Plot", 0.5)
+		sc.Phase("Read", func() { p.Sleep(2) })
+		if sc.phases["Plot"] != 2.0 || sc.phases["Read"] != 2.0 {
+			t.Errorf("phases = %v", sc.phases)
+		}
+		if p.Now() != 4.0 {
+			t.Errorf("now = %v", p.Now())
+		}
+	})
+	env.K.Run()
+}

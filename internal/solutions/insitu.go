@@ -1,0 +1,182 @@
+package solutions
+
+import (
+	"fmt"
+
+	"scidp/internal/cluster"
+	"scidp/internal/core"
+	"scidp/internal/hdfs"
+	"scidp/internal/sim"
+	"scidp/internal/workloads"
+)
+
+// WorkflowReport times the paper's end-to-end workflow: HPC simulation
+// producing files on the PFS, then analysis/visualization of every file.
+type WorkflowReport struct {
+	// Strategy names the workflow variant.
+	Strategy string
+	// SimulationSeconds is when the last output file landed on the PFS.
+	SimulationSeconds float64
+	// EndToEndSeconds is simulation start to last image stored.
+	EndToEndSeconds float64
+	// AnalysisLagSeconds is EndToEnd - Simulation: how long after the
+	// simulation finished the analysis kept running.
+	AnalysisLagSeconds float64
+	// Images is the number of PNGs produced.
+	Images int
+}
+
+// WorkflowConfig drives RunWorkflow.
+type WorkflowConfig struct {
+	// Blobs and Files describe the run the simulation will write.
+	Blobs map[string][]byte
+	// Dataset describes the run (for grid dimensions).
+	Dataset *workloads.Dataset
+	// Var is the analyzed variable.
+	Var string
+	// ComputeSecondsPerStep is the simulation compute time per output.
+	ComputeSecondsPerStep float64
+	// HPCNodes is the simulation cluster size.
+	HPCNodes int
+	// InSitu analyzes each file the moment it lands; false waits for the
+	// whole run, then executes the standard SciDP pipeline.
+	InSitu bool
+}
+
+// RunWorkflow plays the full simulate-then-analyze workflow on env and
+// reports end-to-end timing. With InSitu, SciDP maps and processes each
+// output immediately after the simulation writes it — the paper's "launch
+// data analysis on a Hadoop computing environment immediately after data
+// is generated"; otherwise analysis starts only after the run completes
+// (the conventional offline workflow).
+func RunWorkflow(p *sim.Proc, env *Env, cfg WorkflowConfig) (*WorkflowReport, error) {
+	rep := &WorkflowReport{Strategy: "offline"}
+	if cfg.InSitu {
+		rep.Strategy = "in-situ"
+	}
+	if cfg.HPCNodes <= 0 {
+		cfg.HPCNodes = 8
+	}
+	hpc := cluster.New(env.K, "hpc", cluster.DefaultHardware(cfg.HPCNodes, 1).Scaled(env.Cfg.ByteScale))
+	comm := workloads.NewComm(env.K, hpc, env.PFS)
+
+	start := p.Now()
+	mapper := core.NewMapper(env.HDFS, env.Registry, "/scidp")
+	wl := &Workload{Dataset: cfg.Dataset, Var: cfg.Var}
+
+	var analysisWG *sim.WaitGroup
+	images := 0
+	var firstErr error
+	if cfg.InSitu {
+		analysisWG = env.K.NewWaitGroup()
+	}
+
+	sim_ := workloads.SimSpec{
+		Comm:           comm,
+		FS:             env.PFS,
+		Blobs:          cfg.Blobs,
+		Files:          cfg.Dataset.Files,
+		ComputeSeconds: cfg.ComputeSecondsPerStep,
+	}
+	if cfg.InSitu {
+		sim_.OnFile = func(dp *sim.Proc, file string, index int) {
+			// Map the fresh file and process each of its dummy blocks as
+			// its own task on the Hadoop cluster, concurrently with the
+			// still-running simulation.
+			mf, err := mapper.MapFile(dp, env.Mount(env.BD.Node(0)), file, core.MapOptions{
+				Vars:         []string{cfg.Var},
+				RowsPerBlock: cfg.Dataset.Spec.Levels,
+			})
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for vi := range mf.Vars {
+				for bi, block := range mf.Vars[vi].INode.Blocks {
+					block := block
+					node := env.BD.Node((index + bi) % len(env.BD.Nodes))
+					analysisWG.Add(1)
+					env.K.Go(fmt.Sprintf("insitu/%s#%d", file, bi), func(tp *sim.Proc) {
+						defer analysisWG.Done()
+						n, err := processBlockInline(tp, env, wl, node, block)
+						if err != nil && firstErr == nil {
+							firstErr = err
+						}
+						images += n
+					})
+				}
+			}
+		}
+	}
+	if err := workloads.SimulateRun(p, sim_); err != nil {
+		return nil, err
+	}
+	rep.SimulationSeconds = p.Now() - start
+
+	if cfg.InSitu {
+		p.Wait(analysisWG)
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		rep.Images = images
+	} else {
+		srep, err := RunSciDP(p, env, wl)
+		if err != nil {
+			return nil, err
+		}
+		rep.Images = srep.Images
+	}
+	rep.EndToEndSeconds = p.Now() - start
+	rep.AnalysisLagSeconds = rep.EndToEndSeconds - rep.SimulationSeconds
+	return rep, nil
+}
+
+// processBlockInline runs one dummy block's analysis as a standalone
+// task on the given node: acquire a slot, pay task startup, resolve the
+// block via the PFS Reader, plot every level, store the images on HDFS —
+// the map-task body without a surrounding job.
+func processBlockInline(tp *sim.Proc, env *Env, wl *Workload, node *cluster.Node, block *hdfs.Block) (int, error) {
+	tp.Acquire(node.Slots)
+	defer node.Slots.Release()
+	tp.Sleep(env.Cfg.Cost.TaskStartup)
+	sc := newSerialCtx(tp, node)
+	reader := core.NewPFSReader(env.Registry, env.Mount(node))
+	var value any
+	var err error
+	sc.Phase("Read", func() {
+		value, err = reader.ReadBlock(tp, block)
+	})
+	if err != nil {
+		return 0, err
+	}
+	slab, ok := value.(*core.Slab)
+	if !ok {
+		return 0, fmt.Errorf("solutions: in-situ block is not scientific")
+	}
+	rawMB := env.scaleMB(len(slab.Raw))
+	sc.Charge("Read", env.Cfg.Cost.DecompressPerMB*rawMB)
+	sc.Charge("Convert", env.Cfg.Cost.BinConvertPerMB*rawMB)
+	vals, err := slab.Float32s()
+	if err != nil {
+		return 0, err
+	}
+	g := &grid{
+		t:           workloads.TimestampIndex(slab.PFSPath),
+		levelOrigin: slab.Start[0],
+		levels:      slab.Count[0], ny: slab.Count[1], nx: slab.Count[2],
+		vals: vals,
+	}
+	out, err := processGrid(env, wl, sc, g, false)
+	if err != nil {
+		return 0, err
+	}
+	for i, png := range out.images {
+		dst := fmt.Sprintf("/results/insitu/img/t%04d_l%03d.png", g.t, out.levels[i])
+		if err := env.HDFS.WriteFile(tp, node, dst, png); err != nil {
+			return 0, err
+		}
+	}
+	return len(out.images), nil
+}

@@ -1,0 +1,130 @@
+package solutions
+
+import (
+	"testing"
+
+	"scidp/internal/sim"
+	"scidp/internal/workloads"
+)
+
+// workflowSetup generates blobs but does NOT install them: the simulation
+// phase writes them.
+func workflowSetup(t *testing.T, timestamps int) (map[string][]byte, *workloads.Dataset) {
+	t.Helper()
+	spec := workloads.NUWRFSpec{
+		Timestamps: timestamps, Levels: 4, Lat: 16, Lon: 16, Vars: 4, Dir: "/nuwrf",
+	}
+	blobs, ds, err := workloads.GenerateBlobs(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blobs, ds
+}
+
+func runWorkflow(t *testing.T, timestamps int, inSitu bool, compute float64) *WorkflowReport {
+	t.Helper()
+	blobs, ds := workflowSetup(t, timestamps)
+	cfg := DefaultEnvConfig(1000, 50.0/4)
+	cfg.Nodes = 4
+	cfg.SlotsPerNode = 2
+	cfg.PlotRes = 16
+	env := NewEnv(cfg)
+	var rep *WorkflowReport
+	var err error
+	env.K.Go("driver", func(p *sim.Proc) {
+		rep, err = RunWorkflow(p, env, WorkflowConfig{
+			Blobs: blobs, Dataset: ds, Var: "QR",
+			ComputeSecondsPerStep: compute, HPCNodes: 4, InSitu: inSitu,
+		})
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestWorkflowSimulationWritesFiles(t *testing.T) {
+	blobs, ds := workflowSetup(t, 3)
+	env := NewEnv(DefaultEnvConfig(1000, 1))
+	var err error
+	env.K.Go("driver", func(p *sim.Proc) {
+		comm := workloads.NewComm(env.K, env.BD, env.PFS)
+		err = workloads.SimulateRun(p, workloads.SimSpec{
+			Comm: comm, FS: env.PFS, Blobs: blobs, Files: ds.Files, ComputeSeconds: 1,
+		})
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range ds.Files {
+		got := env.PFS.Get(f)
+		if string(got) != string(blobs[f]) {
+			t.Fatalf("simulation output %s does not match blob", f)
+		}
+	}
+	if env.K.Now() < 3 {
+		t.Fatalf("simulation took %v, want >= 3 (compute phases)", env.K.Now())
+	}
+}
+
+func TestWorkflowBothStrategiesProduceAllImages(t *testing.T) {
+	offline := runWorkflow(t, 4, false, 5)
+	insitu := runWorkflow(t, 4, true, 5)
+	want := 4 * 4 // timestamps x levels
+	if offline.Images != want || insitu.Images != want {
+		t.Fatalf("images: offline=%d insitu=%d want %d", offline.Images, insitu.Images, want)
+	}
+	if offline.Strategy != "offline" || insitu.Strategy != "in-situ" {
+		t.Fatalf("strategies: %s / %s", offline.Strategy, insitu.Strategy)
+	}
+}
+
+func TestInSituHidesAnalysisBehindSimulation(t *testing.T) {
+	// With generous compute time between outputs, in-situ analysis
+	// overlaps the simulation: its end-to-end time should be much closer
+	// to the bare simulation time than the offline pipeline's.
+	offline := runWorkflow(t, 6, false, 60)
+	insitu := runWorkflow(t, 6, true, 60)
+	if insitu.EndToEndSeconds >= offline.EndToEndSeconds {
+		t.Fatalf("in-situ (%v) should beat offline (%v)", insitu.EndToEndSeconds, offline.EndToEndSeconds)
+	}
+	if insitu.AnalysisLagSeconds >= offline.AnalysisLagSeconds {
+		t.Fatalf("in-situ lag (%v) should be below offline lag (%v)",
+			insitu.AnalysisLagSeconds, offline.AnalysisLagSeconds)
+	}
+	// Simulation time itself is strategy-independent (modulo PFS
+	// contention from concurrent readers).
+	if insitu.SimulationSeconds < offline.SimulationSeconds {
+		t.Fatalf("in-situ simulation (%v) should not be faster than offline's (%v)",
+			insitu.SimulationSeconds, offline.SimulationSeconds)
+	}
+}
+
+func TestWorkflowMissingBlobFails(t *testing.T) {
+	env := NewEnv(DefaultEnvConfig(1000, 1))
+	var err error
+	env.K.Go("driver", func(p *sim.Proc) {
+		comm := workloads.NewComm(env.K, env.BD, env.PFS)
+		err = workloads.SimulateRun(p, workloads.SimSpec{
+			Comm: comm, FS: env.PFS, Blobs: map[string][]byte{}, Files: []string{"/ghost.nc"},
+		})
+	})
+	env.K.Run()
+	if err == nil {
+		t.Fatal("missing blob should fail")
+	}
+}
+
+func TestSimulateRunValidation(t *testing.T) {
+	env := NewEnv(DefaultEnvConfig(1000, 1))
+	var err error
+	env.K.Go("driver", func(p *sim.Proc) {
+		err = workloads.SimulateRun(p, workloads.SimSpec{})
+	})
+	env.K.Run()
+	if err == nil {
+		t.Fatal("empty spec should fail")
+	}
+}

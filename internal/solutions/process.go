@@ -1,0 +1,331 @@
+package solutions
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"scidp/internal/cluster"
+	"scidp/internal/mapreduce"
+	"scidp/internal/netcdf"
+	"scidp/internal/rframe"
+	"scidp/internal/rsql"
+	"scidp/internal/sim"
+	"scidp/internal/workloads"
+)
+
+// grid is one timestamp's decoded variable: levels x ny x nx values.
+type grid struct {
+	// t is the timestamp index.
+	t int
+	// levelOrigin is the global index of the first level (nonzero when a
+	// task covers a sub-range of levels).
+	levelOrigin int
+	// levels, ny, nx are the grid dimensions.
+	levels, ny, nx int
+	// vals is the row-major payload.
+	vals []float32
+}
+
+// level returns one level's values.
+func (g *grid) level(i int) []float32 {
+	n := g.ny * g.nx
+	return g.vals[i*n : (i+1)*n]
+}
+
+// charger is the charging surface shared by MapReduce task contexts and
+// the Naive solution's serial context.
+type charger interface {
+	Charge(phase string, d float64)
+	Phase(name string, fn func())
+	Proc() *sim.Proc
+	Node() *cluster.Node
+}
+
+// serialCtx implements charger for the sequential Naive pipeline and
+// accumulates phase totals.
+type serialCtx struct {
+	proc   *sim.Proc
+	node   *cluster.Node
+	phases map[string]float64
+}
+
+func newSerialCtx(p *sim.Proc, n *cluster.Node) *serialCtx {
+	return &serialCtx{proc: p, node: n, phases: map[string]float64{}}
+}
+
+func (s *serialCtx) Charge(phase string, d float64) {
+	s.proc.Sleep(d)
+	s.phases[phase] += d
+}
+
+func (s *serialCtx) Phase(name string, fn func()) {
+	start := s.proc.Now()
+	fn()
+	s.phases[name] += s.proc.Now() - start
+}
+
+func (s *serialCtx) Proc() *sim.Proc     { return s.proc }
+func (s *serialCtx) Node() *cluster.Node { return s.node }
+
+// gridFromCSV parses converted text into a grid — the read.table path.
+// The dominant Convert cost is charged at paper scale, then the text is
+// genuinely parsed.
+func gridFromCSV(env *Env, tc charger, text []byte, spec workloads.NUWRFSpec) (*grid, error) {
+	tc.Charge("Convert", env.Cfg.Cost.TextParsePerMB*env.scaleMB(len(text)))
+	df, err := rframe.ReadTable(text)
+	if err != nil {
+		return nil, err
+	}
+	g := &grid{levels: spec.Levels, ny: spec.Lat, nx: spec.Lon}
+	g.vals = make([]float32, g.levels*g.ny*g.nx)
+	tCol, lCol, yCol, xCol, vCol := df.Col("t"), df.Col("level"), df.Col("lat"), df.Col("lon"), df.Col("value")
+	if tCol == nil || lCol == nil || yCol == nil || xCol == nil || vCol == nil {
+		return nil, fmt.Errorf("solutions: CSV missing expected columns, have %v", df.Names())
+	}
+	if df.NumRows() == 0 {
+		return nil, fmt.Errorf("solutions: empty CSV")
+	}
+	g.t = int(tCol.Float64At(0))
+	for r := 0; r < df.NumRows(); r++ {
+		l := int(lCol.Float64At(r))
+		y := int(yCol.Float64At(r))
+		x := int(xCol.Float64At(r))
+		idx := l*g.ny*g.nx + y*g.nx + x
+		if idx < 0 || idx >= len(g.vals) {
+			return nil, fmt.Errorf("solutions: CSV row %d outside grid", r)
+		}
+		g.vals[idx] = float32(vCol.Float64At(r))
+	}
+	return g, nil
+}
+
+// gridFromNC decodes a whole netCDF file blob (SciHadoop's in-task read
+// of an HDFS-resident file) into the selected variable's grid.
+func gridFromNC(env *Env, tc charger, blob []byte, varName string, t int) (*grid, error) {
+	f, err := netcdf.Open(netcdf.BytesReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	arr, err := f.GetVar(varName)
+	if err != nil {
+		return nil, err
+	}
+	rawMB := env.scaleMB(len(arr.Data))
+	tc.Charge("Read", env.Cfg.Cost.DecompressPerMB*rawMB)
+	tc.Charge("Convert", env.Cfg.Cost.BinConvertPerMB*rawMB)
+	if len(arr.Shape) != 3 {
+		return nil, fmt.Errorf("solutions: %s has rank %d", varName, len(arr.Shape))
+	}
+	return &grid{
+		t:      t,
+		levels: arr.Shape[0], ny: arr.Shape[1], nx: arr.Shape[2],
+		vals: arr.Float32s(),
+	}, nil
+}
+
+// taskOutput is what processing one grid produces.
+type taskOutput struct {
+	images   [][]byte
+	levels   []int // global level index per image
+	analysis *rframe.Frame
+}
+
+// processGrid is the per-task body shared by every solution: optional SQL
+// analysis, then one plotted image per level (with highlights marked when
+// requested).
+func processGrid(env *Env, wl *Workload, tc charger, g *grid, sequential bool) (*taskOutput, error) {
+	out := &taskOutput{}
+	highlight := map[int][]rframe.GridPoint{}
+
+	if wl.Analysis != AnalysisNone {
+		df, err := gridFrame(g, wl.Var)
+		if err != nil {
+			return nil, err
+		}
+		tc.Charge("Analysis", env.Cfg.Cost.AnalysisPerMB*env.scaleMB(len(g.vals)*4))
+		tables := map[string]*rframe.Frame{"df": df}
+		switch wl.Analysis {
+		case AnalysisHighlight:
+			top, err := rsql.Query(tables, "SELECT level, lat, lon, value FROM df ORDER BY value DESC LIMIT 10")
+			if err != nil {
+				return nil, err
+			}
+			for r := 0; r < top.NumRows(); r++ {
+				l := int(top.Col("level").Float64At(r))
+				highlight[l] = append(highlight[l], rframe.GridPoint{
+					Row: int(top.Col("lat").Float64At(r)),
+					Col: int(top.Col("lon").Float64At(r)),
+				})
+			}
+		case AnalysisTop1Pct:
+			limit := int(math.Ceil(float64(df.NumRows()) / 100))
+			top, err := rsql.Query(tables, fmt.Sprintf(
+				"SELECT t, level, lat, lon, value FROM df ORDER BY value DESC LIMIT %d", limit))
+			if err != nil {
+				return nil, err
+			}
+			out.analysis = top
+		}
+	}
+
+	for l := 0; l < g.levels; l++ {
+		tc.Charge("Plot", env.plotCharge(sequential))
+		global := g.levelOrigin + l
+		png, err := rframe.Image2D(g.level(l), g.ny, g.nx, rframe.PlotOpts{
+			Width: env.Cfg.PlotRes, Height: env.Cfg.PlotRes,
+			Highlight: highlight[global],
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.images = append(out.images, png)
+		out.levels = append(out.levels, global)
+	}
+	return out, nil
+}
+
+// gridFrame builds the tidy frame SQL analyses run over.
+func gridFrame(g *grid, valueName string) (*rframe.Frame, error) {
+	df, err := rframe.FromArray3D(
+		[3]string{"level", "lat", "lon"},
+		[3]int{g.levelOrigin, 0, 0},
+		[3]int{g.levels, g.ny, g.nx},
+		g.vals, "value")
+	if err != nil {
+		return nil, err
+	}
+	ts := make([]int64, df.NumRows())
+	for i := range ts {
+		ts[i] = int64(g.t)
+	}
+	if err := df.AddInt("t", ts); err != nil {
+		return nil, err
+	}
+	return df, nil
+}
+
+// procStats tallies a processing job's outputs.
+type procStats struct {
+	images        int
+	animations    int
+	analysisBytes int64
+}
+
+// imgKV carries one plotted image through the shuffle.
+type imgKV struct {
+	t, level int
+	png      []byte
+}
+
+// runProcessing executes the shared MapReduce processing job: decode each
+// record to a grid, process it, send images and analysis frames to the
+// reducers, which store everything on HDFS (the paper stores results via
+// rhdfs in the Reduce tasks).
+func runProcessing(p *sim.Proc, env *Env, wl *Workload, name string, input mapreduce.InputFormat,
+	decode func(tc *mapreduce.TaskContext, key string, value any) (*grid, error)) (*mapreduce.Result, *procStats, error) {
+
+	stats := &procStats{}
+	outDir := "/results/" + name
+	job := &mapreduce.Job{
+		Name:         name,
+		Cluster:      env.BD,
+		SlotsPerNode: env.Cfg.SlotsPerNode,
+		Input:        input,
+		TaskStartup:  env.Cfg.Cost.TaskStartup,
+		NumReducers:  env.Cfg.Nodes,
+		PairBytes: func(kv mapreduce.KV) int64 {
+			switch v := kv.V.(type) {
+			case imgKV:
+				return int64(len(v.png)) + 16
+			case *rframe.Frame:
+				return int64(v.NumRows()) * 24
+			}
+			return int64(len(kv.K)) + 16
+		},
+		Map: func(tc *mapreduce.TaskContext, key string, value any) error {
+			g, err := decode(tc, key, value)
+			if err != nil {
+				return err
+			}
+			out, err := processGrid(env, wl, tc, g, false)
+			if err != nil {
+				return err
+			}
+			for i, png := range out.images {
+				tc.Emit(fmt.Sprintf("img/%04d", g.t), imgKV{t: g.t, level: out.levels[i], png: png})
+			}
+			if out.analysis != nil {
+				tc.Emit("top1pct", out.analysis)
+			}
+			return nil
+		},
+		Reduce: func(tc *mapreduce.TaskContext, key string, values []any) error {
+			if key == "top1pct" {
+				combined := rframe.New()
+				for _, v := range values {
+					if err := combined.Append(v.(*rframe.Frame)); err != nil {
+						return err
+					}
+				}
+				sorted, err := combined.OrderBy("value", true)
+				if err != nil {
+					return err
+				}
+				text := sorted.WriteCSV()
+				stats.analysisBytes += int64(len(text))
+				return env.HDFS.WriteFile(tc.Proc(), tc.Node(), outDir+"/analysis/top1pct.csv", text)
+			}
+			// Animation frames: order by level and store.
+			imgs := make([]imgKV, 0, len(values))
+			for _, v := range values {
+				imgs = append(imgs, v.(imgKV))
+			}
+			sort.Slice(imgs, func(a, b int) bool { return imgs[a].level < imgs[b].level })
+			for _, img := range imgs {
+				path := fmt.Sprintf("%s/img/t%04d_l%03d.png", outDir, img.t, img.level)
+				if err := env.HDFS.WriteFile(tc.Proc(), tc.Node(), path, img.png); err != nil {
+					return err
+				}
+				stats.images++
+			}
+			// Anlys includes the animation phase (Table II): assemble this
+			// timestamp's level series into an animated GIF on HDFS.
+			if wl.Analysis != AnalysisNone && len(imgs) > 1 {
+				frames := make([][]byte, len(imgs))
+				for i := range imgs {
+					frames[i] = imgs[i].png
+				}
+				anim, err := rframe.AnimateGIF(frames, 20)
+				if err != nil {
+					return err
+				}
+				path := fmt.Sprintf("%s/anim/t%04d.gif", outDir, imgs[0].t)
+				if err := env.HDFS.WriteFile(tc.Proc(), tc.Node(), path, anim); err != nil {
+					return err
+				}
+				stats.animations++
+			}
+			return nil
+		},
+	}
+	res, err := job.Run(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, stats, nil
+}
+
+// fillReport moves engine stats into the report.
+func fillReport(rep *Report, env *Env, res *mapreduce.Result, stats *procStats, wl *Workload) {
+	rep.PhaseMeans = map[string]float64{}
+	for _, name := range []string{"Read", "Convert", "Plot", "Analysis"} {
+		if v := res.PhaseMean(name); v > 0 {
+			rep.PhaseMeans[name] = v
+		}
+	}
+	rep.LevelsPerTask = float64(wl.Dataset.Spec.Levels)
+	rep.Images = stats.images
+	rep.Animations = stats.animations
+	rep.AnalysisBytes = stats.analysisBytes
+}

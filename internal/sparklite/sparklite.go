@@ -1,0 +1,426 @@
+// Package sparklite is a minimal Spark-like engine over the simulated
+// cluster: lazily composed RDDs (map / filter / flatMap / reduceByKey /
+// collect) executed as staged DAGs with narrow transformations fused into
+// one task wave and shuffles between stages. The SciDP paper names Spark
+// support as the designed extension path ("SciDP can be extended to
+// support other BD frameworks, such as Spark and Impala"; SciSpark and
+// H5Spark are the related systems) — this package demonstrates that the
+// Data Mapper / PFS Reader design carries over: scidpsource.go provides
+// an RDD whose partitions are SciDP dummy blocks resolved against the
+// PFS.
+//
+// The engine intentionally implements only what the workloads here need;
+// it is an extension demonstration, not a Spark reimplementation.
+package sparklite
+
+import (
+	"fmt"
+	"sort"
+
+	"scidp/internal/cluster"
+	"scidp/internal/sim"
+)
+
+// Record is one element of a distributed dataset.
+type Record struct {
+	// K is the key ("" for un-keyed data).
+	K string
+	// V is the value.
+	V any
+}
+
+// Partition is one parallel slice of an RDD's input.
+type Partition struct {
+	// Index is the partition number.
+	Index int
+	// Label names the partition for traces.
+	Label string
+	// Payload carries whatever the source needs to read the partition.
+	Payload any
+	// PreferredHosts biases scheduling (empty = anywhere).
+	PreferredHosts []string
+}
+
+// Source produces an RDD's partitions and reads them.
+type Source interface {
+	// Partitions enumerates the input (metadata cost on p).
+	Partitions(p *sim.Proc) ([]*Partition, error)
+	// Read materializes one partition's records on the task's node,
+	// charging I/O through the context.
+	Read(tc *TaskCtx, part *Partition) ([]Record, error)
+}
+
+// TaskCtx is the execution context inside one task.
+type TaskCtx struct {
+	proc *sim.Proc
+	node *cluster.Node
+}
+
+// Proc returns the task's simulated process.
+func (tc *TaskCtx) Proc() *sim.Proc { return tc.proc }
+
+// Node returns the machine the task runs on.
+func (tc *TaskCtx) Node() *cluster.Node { return tc.node }
+
+// Charge blocks the task for d virtual seconds of modeled compute.
+func (tc *TaskCtx) Charge(d float64) { tc.proc.Sleep(d) }
+
+// op is one narrow transformation in a stage's fused pipeline.
+type op struct {
+	kind  string // "map", "filter", "flatMap"
+	mapF  func(tc *TaskCtx, r Record) (Record, error)
+	filF  func(tc *TaskCtx, r Record) (bool, error)
+	flatF func(tc *TaskCtx, r Record) ([]Record, error)
+}
+
+// RDD is a lazily composed distributed dataset.
+type RDD struct {
+	sc     *Context
+	source Source
+	parent *RDD
+	// shuffle marks a wide dependency: records are repartitioned by key
+	// before this RDD's ops run.
+	shuffle  bool
+	reducer  func(tc *TaskCtx, key string, values []any) (any, error)
+	reduceTo int
+	ops      []op
+}
+
+// Context drives jobs on one cluster.
+type Context struct {
+	k            *sim.Kernel
+	cluster      *cluster.Cluster
+	slotsPerNode int
+	// TaskStartup is the per-task launch cost (Spark executors reuse
+	// JVMs, so the default is far below Hadoop's).
+	TaskStartup float64
+	// PairBytes sizes records for shuffle accounting.
+	PairBytes func(r Record) int64
+}
+
+// NewContext builds a Spark-like context over the cluster.
+func NewContext(k *sim.Kernel, cl *cluster.Cluster, slotsPerNode int) *Context {
+	return &Context{
+		k: k, cluster: cl, slotsPerNode: slotsPerNode,
+		TaskStartup: 0.1,
+		PairBytes:   func(r Record) int64 { return int64(len(r.K)) + 16 },
+	}
+}
+
+// FromSource creates the root RDD of a lineage.
+func (sc *Context) FromSource(src Source) *RDD { return &RDD{sc: sc, source: src} }
+
+// Parallelize creates an RDD from in-memory records split into n
+// partitions.
+func (sc *Context) Parallelize(records []Record, n int) *RDD {
+	return sc.FromSource(&memSource{records: records, parts: n})
+}
+
+type memSource struct {
+	records []Record
+	parts   int
+}
+
+func (m *memSource) Partitions(p *sim.Proc) ([]*Partition, error) {
+	n := m.parts
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]*Partition, n)
+	for i := range out {
+		out[i] = &Partition{Index: i, Label: fmt.Sprintf("mem-%d", i), Payload: i}
+	}
+	return out, nil
+}
+
+func (m *memSource) Read(tc *TaskCtx, part *Partition) ([]Record, error) {
+	n := m.parts
+	i := part.Payload.(int)
+	lo := i * len(m.records) / n
+	hi := (i + 1) * len(m.records) / n
+	return m.records[lo:hi], nil
+}
+
+// chain derives a new RDD appending one narrow op (same stage).
+func (r *RDD) chain(o op) *RDD {
+	nr := *r
+	nr.ops = append(append([]op(nil), r.ops...), o)
+	return &nr
+}
+
+// Map applies f to every record.
+func (r *RDD) Map(f func(tc *TaskCtx, rec Record) (Record, error)) *RDD {
+	return r.chain(op{kind: "map", mapF: f})
+}
+
+// Filter keeps records where f is true.
+func (r *RDD) Filter(f func(tc *TaskCtx, rec Record) (bool, error)) *RDD {
+	return r.chain(op{kind: "filter", filF: f})
+}
+
+// FlatMap expands each record into zero or more records.
+func (r *RDD) FlatMap(f func(tc *TaskCtx, rec Record) ([]Record, error)) *RDD {
+	return r.chain(op{kind: "flatMap", flatF: f})
+}
+
+// ReduceByKey introduces a shuffle boundary: records are hashed to
+// reducers partitions by key and each key's values are folded by f.
+func (r *RDD) ReduceByKey(f func(tc *TaskCtx, key string, values []any) (any, error), reducers int) *RDD {
+	if reducers <= 0 {
+		reducers = len(r.sc.cluster.Nodes)
+	}
+	return &RDD{sc: r.sc, parent: r, shuffle: true, reducer: f, reduceTo: reducers}
+}
+
+// Collect executes the lineage from the driver process and returns the
+// resulting records sorted by key (then insertion order).
+func (r *RDD) Collect(p *sim.Proc) ([]Record, error) {
+	recs, err := r.execute(p)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].K < recs[j].K })
+	return recs, nil
+}
+
+// Count executes the lineage and returns the record count.
+func (r *RDD) Count(p *sim.Proc) (int, error) {
+	recs, err := r.execute(p)
+	if err != nil {
+		return 0, err
+	}
+	return len(recs), nil
+}
+
+// execute runs the DAG: recursively materialize the parent (previous
+// stage), then this stage's wave.
+func (r *RDD) execute(p *sim.Proc) ([]Record, error) {
+	sc := r.sc
+	if r.shuffle {
+		parentOut, err := r.parent.execute(p)
+		if err != nil {
+			return nil, err
+		}
+		// Partition parent output by key hash; note where each bucket's
+		// bytes come from is approximated as uniform across nodes (the
+		// parent stage spread its tasks round-robin), so the shuffle
+		// charges (reducers-1)/reducers of the bytes across the fabric.
+		buckets := make([][]Record, r.reduceTo)
+		var totalBytes int64
+		for _, rec := range parentOut {
+			b := hashString(rec.K) % uint32(r.reduceTo)
+			buckets[b] = append(buckets[b], rec)
+			totalBytes += sc.PairBytes(rec)
+		}
+		results := make([][]Record, r.reduceTo)
+		tasks := make([]*stageTask, r.reduceTo)
+		for i := 0; i < r.reduceTo; i++ {
+			i := i
+			tasks[i] = &stageTask{
+				label: fmt.Sprintf("reduce-%d", i),
+				body: func(tc *TaskCtx) error {
+					// Shuffle fetch for this bucket.
+					var bucketBytes int64
+					for _, rec := range buckets[i] {
+						bucketBytes += sc.PairBytes(rec)
+					}
+					remote := float64(bucketBytes) * float64(len(sc.cluster.Nodes)-1) / float64(len(sc.cluster.Nodes))
+					if remote > 0 && len(sc.cluster.Nodes) > 1 {
+						src := sc.cluster.Nodes[(i+1)%len(sc.cluster.Nodes)]
+						tc.proc.Transfer(remote, sc.cluster.NetPath(src, tc.node)...)
+					}
+					// Group and reduce.
+					grouped := map[string][]any{}
+					var order []string
+					for _, rec := range buckets[i] {
+						if _, ok := grouped[rec.K]; !ok {
+							order = append(order, rec.K)
+						}
+						grouped[rec.K] = append(grouped[rec.K], rec.V)
+					}
+					for _, k := range order {
+						v, err := r.reducer(tc, k, grouped[k])
+						if err != nil {
+							return err
+						}
+						out := Record{K: k, V: v}
+						// Post-shuffle narrow ops (rare but legal).
+						kept, res, err := applyOps(tc, r.ops, out)
+						if err != nil {
+							return err
+						}
+						if kept {
+							results[i] = append(results[i], res...)
+						}
+					}
+					return nil
+				},
+			}
+		}
+		if err := sc.runStage(p, tasks); err != nil {
+			return nil, err
+		}
+		var out []Record
+		for _, part := range results {
+			out = append(out, part...)
+		}
+		return out, nil
+	}
+
+	// Source stage: one task per partition, narrow ops fused.
+	if r.source == nil {
+		return nil, fmt.Errorf("sparklite: RDD has neither source nor parent")
+	}
+	parts, err := r.source.Partitions(p)
+	if err != nil {
+		return nil, err
+	}
+	results := make([][]Record, len(parts))
+	tasks := make([]*stageTask, len(parts))
+	for i, part := range parts {
+		i, part := i, part
+		tasks[i] = &stageTask{
+			label: part.Label,
+			locs:  part.PreferredHosts,
+			body: func(tc *TaskCtx) error {
+				recs, err := r.source.Read(tc, part)
+				if err != nil {
+					return err
+				}
+				for _, rec := range recs {
+					kept, res, err := applyOps(tc, r.ops, rec)
+					if err != nil {
+						return err
+					}
+					if kept {
+						results[i] = append(results[i], res...)
+					}
+				}
+				return nil
+			},
+		}
+	}
+	if err := sc.runStage(p, tasks); err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, part := range results {
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// applyOps threads one record through a fused narrow pipeline. Returns
+// kept=false when a filter drops it.
+func applyOps(tc *TaskCtx, ops []op, rec Record) (bool, []Record, error) {
+	cur := []Record{rec}
+	for _, o := range ops {
+		var next []Record
+		for _, c := range cur {
+			switch o.kind {
+			case "map":
+				m, err := o.mapF(tc, c)
+				if err != nil {
+					return false, nil, err
+				}
+				next = append(next, m)
+			case "filter":
+				ok, err := o.filF(tc, c)
+				if err != nil {
+					return false, nil, err
+				}
+				if ok {
+					next = append(next, c)
+				}
+			case "flatMap":
+				ms, err := o.flatF(tc, c)
+				if err != nil {
+					return false, nil, err
+				}
+				next = append(next, ms...)
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return false, nil, nil
+		}
+	}
+	return true, cur, nil
+}
+
+// stageTask is one schedulable task of a stage.
+type stageTask struct {
+	label string
+	locs  []string
+	body  func(tc *TaskCtx) error
+}
+
+// runStage executes tasks on the cluster's slots (same delay-scheduling
+// locality policy as the MapReduce engine, reimplemented thinly here).
+func (sc *Context) runStage(p *sim.Proc, tasks []*stageTask) error {
+	k := p.Kernel()
+	queue := append([]*stageTask(nil), tasks...)
+	var firstErr error
+	wg := k.NewWaitGroup()
+	wg.Add(len(tasks))
+	pickLocal := func(node string) *stageTask {
+		for i, t := range queue {
+			if len(t.locs) == 0 {
+				queue = append(queue[:i], queue[i+1:]...)
+				return t
+			}
+			for _, l := range t.locs {
+				if l == node {
+					queue = append(queue[:i], queue[i+1:]...)
+					return t
+				}
+			}
+		}
+		return nil
+	}
+	for _, node := range sc.cluster.Nodes {
+		slots := sc.slotsPerNode
+		if slots <= 0 {
+			slots = 1
+		}
+		for s := 0; s < slots; s++ {
+			node := node
+			k.Go(fmt.Sprintf("spark/%s-exec", node.Name), func(wp *sim.Proc) {
+				misses := 0
+				for {
+					t := pickLocal(node.Name)
+					if t == nil {
+						if len(queue) == 0 {
+							return
+						}
+						if misses < 3 {
+							misses++
+							wp.Sleep(0.2)
+							continue
+						}
+						t = queue[0]
+						queue = queue[1:]
+					}
+					misses = 0
+					wp.Sleep(sc.TaskStartup)
+					if err := t.body(&TaskCtx{proc: wp, node: node}); err != nil && firstErr == nil {
+						firstErr = err
+					}
+					wg.Done()
+				}
+			})
+		}
+	}
+	p.Wait(wg)
+	return firstErr
+}
+
+// hashString is FNV-1a.
+func hashString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,287 @@
+package sparklite
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"scidp/internal/cluster"
+	"scidp/internal/core"
+	"scidp/internal/sim"
+	"scidp/internal/solutions"
+	"scidp/internal/workloads"
+)
+
+func testCluster(k *sim.Kernel, nodes, slots int) *cluster.Cluster {
+	return cluster.New(k, "bd", cluster.Config{
+		Nodes: nodes, SlotsPerNode: slots,
+		DiskBW: 1e6, NICBW: 1e6, FabricBW: 4e6,
+	})
+}
+
+// collect runs the lineage from a driver proc.
+func collect(t *testing.T, k *sim.Kernel, rdd *RDD) []Record {
+	t.Helper()
+	var out []Record
+	var err error
+	k.Go("driver", func(p *sim.Proc) {
+		out, err = rdd.Collect(p)
+	})
+	k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestParallelizeMapFilterCollect(t *testing.T) {
+	k := sim.NewKernel()
+	sc := NewContext(k, testCluster(k, 2, 2), 2)
+	var recs []Record
+	for i := 0; i < 10; i++ {
+		recs = append(recs, Record{K: fmt.Sprintf("k%02d", i), V: i})
+	}
+	rdd := sc.Parallelize(recs, 4).
+		Map(func(tc *TaskCtx, r Record) (Record, error) {
+			return Record{K: r.K, V: r.V.(int) * 2}, nil
+		}).
+		Filter(func(tc *TaskCtx, r Record) (bool, error) {
+			return r.V.(int) >= 10, nil
+		})
+	out := collect(t, k, rdd)
+	if len(out) != 5 {
+		t.Fatalf("out = %d records, want 5", len(out))
+	}
+	if out[0].K != "k05" || out[0].V.(int) != 10 {
+		t.Fatalf("first = %+v", out[0])
+	}
+}
+
+func TestFlatMapAndCount(t *testing.T) {
+	k := sim.NewKernel()
+	sc := NewContext(k, testCluster(k, 2, 2), 2)
+	rdd := sc.Parallelize([]Record{
+		{K: "a", V: "one two"},
+		{K: "b", V: "three"},
+	}, 2).FlatMap(func(tc *TaskCtx, r Record) ([]Record, error) {
+		var out []Record
+		for _, w := range strings.Fields(r.V.(string)) {
+			out = append(out, Record{K: w, V: 1})
+		}
+		return out, nil
+	})
+	var n int
+	var err error
+	k.Go("driver", func(p *sim.Proc) {
+		n, err = rdd.Count(p)
+	})
+	k.Run()
+	if err != nil || n != 3 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+}
+
+func TestWordCountWithShuffle(t *testing.T) {
+	k := sim.NewKernel()
+	sc := NewContext(k, testCluster(k, 3, 2), 2)
+	lines := []Record{
+		{V: "a b a"}, {V: "c"}, {V: "b b"}, {V: "a c c"},
+	}
+	rdd := sc.Parallelize(lines, 4).
+		FlatMap(func(tc *TaskCtx, r Record) ([]Record, error) {
+			var out []Record
+			for _, w := range strings.Fields(r.V.(string)) {
+				out = append(out, Record{K: w, V: 1})
+			}
+			return out, nil
+		}).
+		ReduceByKey(func(tc *TaskCtx, key string, values []any) (any, error) {
+			sum := 0
+			for _, v := range values {
+				sum += v.(int)
+			}
+			return sum, nil
+		}, 2)
+	out := collect(t, k, rdd)
+	want := map[string]int{"a": 3, "b": 3, "c": 3}
+	if len(out) != 3 {
+		t.Fatalf("out = %+v", out)
+	}
+	for _, r := range out {
+		if r.V.(int) != want[r.K] {
+			t.Errorf("%s = %v, want %d", r.K, r.V, want[r.K])
+		}
+	}
+}
+
+func TestStageErrorPropagates(t *testing.T) {
+	k := sim.NewKernel()
+	sc := NewContext(k, testCluster(k, 2, 1), 1)
+	rdd := sc.Parallelize([]Record{{V: 1}}, 1).
+		Map(func(tc *TaskCtx, r Record) (Record, error) {
+			return Record{}, fmt.Errorf("boom")
+		})
+	var err error
+	k.Go("driver", func(p *sim.Proc) {
+		_, err = rdd.Collect(p)
+	})
+	k.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyLineageFails(t *testing.T) {
+	k := sim.NewKernel()
+	rdd := &RDD{sc: NewContext(k, testCluster(k, 1, 1), 1)}
+	var err error
+	k.Go("driver", func(p *sim.Proc) {
+		_, err = rdd.Collect(p)
+	})
+	k.Run()
+	if err == nil {
+		t.Fatal("sourceless RDD should fail")
+	}
+}
+
+func TestTasksRespectSlots(t *testing.T) {
+	// 8 partitions, each charging 1 s: 1 node x 2 slots => >= 4 s; 4
+	// nodes x 2 slots => ~1 s.
+	elapsed := func(nodes int) float64 {
+		k := sim.NewKernel()
+		sc := NewContext(k, testCluster(k, nodes, 2), 2)
+		sc.TaskStartup = 0
+		var recs []Record
+		for i := 0; i < 8; i++ {
+			recs = append(recs, Record{K: fmt.Sprintf("%d", i), V: i})
+		}
+		rdd := sc.Parallelize(recs, 8).Map(func(tc *TaskCtx, r Record) (Record, error) {
+			tc.Charge(1.0)
+			return r, nil
+		})
+		var end float64
+		k.Go("driver", func(p *sim.Proc) {
+			rdd.Collect(p)
+			end = p.Now()
+		})
+		k.Run()
+		return end
+	}
+	one, four := elapsed(1), elapsed(4)
+	if one < 3.9 {
+		t.Fatalf("1 node took %v, want >= 4", one)
+	}
+	if four > one/2 {
+		t.Fatalf("4 nodes (%v) should be well under 1 node (%v)", four, one)
+	}
+}
+
+// TestSciDPSourceEndToEnd: the paper's extension path — SciDP dummy
+// blocks consumed by the Spark-like engine, computing per-timestamp sums
+// through RDD transformations.
+func TestSciDPSourceEndToEnd(t *testing.T) {
+	env := solutions.NewEnv(solutions.DefaultEnvConfig(1000, 10))
+	spec := workloads.NUWRFSpec{Timestamps: 3, Levels: 4, Lat: 8, Lon: 8, Vars: 3, Dir: "/nuwrf"}
+	ds, err := workloads.Generate(env.PFS, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ds
+	sc := NewContext(env.K, env.BD, 4)
+	var out []Record
+	env.K.Go("driver", func(p *sim.Proc) {
+		mapper := core.NewMapper(env.HDFS, env.Registry, "/scidp")
+		mapping, err := mapper.MapPath(p, env.Mount(env.BD.Node(0)), "/nuwrf", core.MapOptions{
+			Vars: []string{"QR"}, RowsPerBlock: spec.Levels,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		src := &SciDPSource{
+			HDFS: env.HDFS, Dir: mapping.Root,
+			Registry: env.Registry, MountFor: env.Mount,
+			DecompressPerRawMB: 0.01,
+		}
+		rdd := sc.FromSource(src).
+			Map(func(tc *TaskCtx, r Record) (Record, error) {
+				slab := r.V.(*core.Slab)
+				vals, err := slab.Float32s()
+				if err != nil {
+					return Record{}, err
+				}
+				var sum float64
+				for _, v := range vals {
+					sum += float64(v)
+				}
+				return Record{K: slab.PFSPath, V: sum}, nil
+			}).
+			ReduceByKey(func(tc *TaskCtx, key string, values []any) (any, error) {
+				var sum float64
+				for _, v := range values {
+					sum += v.(float64)
+				}
+				return sum, nil
+			}, 2)
+		out, err = rdd.Collect(p)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	env.K.Run()
+	if len(out) != 3 {
+		t.Fatalf("out = %d records, want 3 (one per timestamp)", len(out))
+	}
+	for _, r := range out {
+		if r.V.(float64) <= 0 {
+			t.Errorf("%s sum = %v, want positive rainfall", r.K, r.V)
+		}
+	}
+	if env.HDFS.TotalUsed() != 0 {
+		t.Fatal("spark path must also move no data into HDFS")
+	}
+}
+
+func TestSciDPSourceEmptyDirFails(t *testing.T) {
+	env := solutions.NewEnv(solutions.DefaultEnvConfig(1000, 10))
+	sc := NewContext(env.K, env.BD, 1)
+	var err error
+	env.K.Go("driver", func(p *sim.Proc) {
+		env.HDFS.Mkdir(p, "/empty")
+		src := &SciDPSource{HDFS: env.HDFS, Dir: "/empty", Registry: env.Registry, MountFor: env.Mount}
+		_, err = sc.FromSource(src).Collect(p)
+	})
+	env.K.Run()
+	if err == nil {
+		t.Fatal("empty mapping should fail")
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	run := func() string {
+		k := sim.NewKernel()
+		sc := NewContext(k, testCluster(k, 3, 2), 2)
+		var recs []Record
+		for i := 0; i < 12; i++ {
+			recs = append(recs, Record{K: fmt.Sprintf("k%d", i%4), V: i})
+		}
+		rdd := sc.Parallelize(recs, 6).
+			ReduceByKey(func(tc *TaskCtx, key string, values []any) (any, error) {
+				s := 0
+				for _, v := range values {
+					s += v.(int)
+				}
+				return s, nil
+			}, 3)
+		out := collect(t, k, rdd)
+		var sb strings.Builder
+		for _, r := range out {
+			fmt.Fprintf(&sb, "%s=%v;", r.K, r.V)
+		}
+		fmt.Fprintf(&sb, "@%.4f", k.Now())
+		return sb.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %s vs %s", a, b)
+	}
+}

@@ -1,0 +1,425 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"scidp/internal/cluster"
+	"scidp/internal/hdfs"
+	"scidp/internal/mapreduce"
+	"scidp/internal/pfs"
+	"scidp/internal/sim"
+)
+
+// Backend abstracts the storage under the Figure 2 comparison: native
+// HDFS (locality-aware local reads) versus a Lustre connector (every read
+// crosses the storage network, the unified-file-system architecture of
+// Figure 1(b)).
+type Backend interface {
+	// Name labels the backend ("hdfs", "lustre").
+	Name() string
+	// Put installs input data instantly (setup, not measured).
+	Put(path string, data []byte)
+	// Input builds an input format over the given files; records are
+	// ([]byte) chunks.
+	Input(paths []string, splitSize int64) mapreduce.InputFormat
+	// Write stores a file from the task's node, charging virtual time.
+	Write(p *sim.Proc, node *cluster.Node, path string, data []byte) error
+	// Read loads a whole file from the task's node, charging time.
+	Read(p *sim.Proc, node *cluster.Node, path string) ([]byte, error)
+}
+
+// ---- HDFS backend.
+
+// HDFSBackend runs workloads against native HDFS.
+type HDFSBackend struct {
+	// FS is the file system.
+	FS *hdfs.FS
+}
+
+// Name implements Backend.
+func (b *HDFSBackend) Name() string { return "hdfs" }
+
+// Put implements Backend.
+func (b *HDFSBackend) Put(path string, data []byte) {
+	if _, err := b.FS.Put(path, data); err != nil {
+		panic(err)
+	}
+}
+
+// Write implements Backend.
+func (b *HDFSBackend) Write(p *sim.Proc, node *cluster.Node, path string, data []byte) error {
+	return b.FS.WriteFile(p, node, path, data)
+}
+
+// Read implements Backend.
+func (b *HDFSBackend) Read(p *sim.Proc, node *cluster.Node, path string) ([]byte, error) {
+	return b.FS.ReadFile(p, node, path)
+}
+
+// Input implements Backend: one split per HDFS block, located at its
+// replicas so the scheduler reads locally.
+func (b *HDFSBackend) Input(paths []string, splitSize int64) mapreduce.InputFormat {
+	return &hdfsBlockInput{fs: b.FS, paths: paths}
+}
+
+type hdfsBlockInput struct {
+	fs    *hdfs.FS
+	paths []string
+}
+
+func (in *hdfsBlockInput) Splits(p *sim.Proc) ([]*mapreduce.Split, error) {
+	var out []*mapreduce.Split
+	for _, path := range paths(in.paths) {
+		n, err := in.fs.Stat(p, path)
+		if err != nil {
+			return nil, err
+		}
+		for i, b := range n.Blocks {
+			out = append(out, &mapreduce.Split{
+				Label:     fmt.Sprintf("%s#%d", path, i),
+				Payload:   b,
+				Length:    b.Size,
+				Locations: hdfs.HostsOf(b),
+			})
+		}
+	}
+	return out, nil
+}
+
+func (in *hdfsBlockInput) ForEach(tc *mapreduce.TaskContext, s *mapreduce.Split, fn func(key string, value any) error) error {
+	var data []byte
+	var err error
+	tc.Phase("Read", func() {
+		data, err = in.fs.ReadBlock(tc.Proc(), tc.Node(), s.Payload.(*hdfs.Block))
+	})
+	if err != nil {
+		return err
+	}
+	return fn(s.Label, data)
+}
+
+// ---- Lustre connector backend.
+
+// LustreBackend runs workloads against a PFS mounted by every Hadoop node
+// (the HDFS-connector architecture). MountFor supplies each node's client,
+// whose resource path crosses the storage fabric.
+type LustreBackend struct {
+	// FS is the parallel file system.
+	FS *pfs.FS
+	// MountFor returns a node's PFS mount.
+	MountFor func(node *cluster.Node) *pfs.Client
+	// SetupClient is any mount, used for metadata during split planning.
+	SetupClient *pfs.Client
+}
+
+// Name implements Backend.
+func (b *LustreBackend) Name() string { return "lustre" }
+
+// Put implements Backend.
+func (b *LustreBackend) Put(path string, data []byte) { b.FS.Put(path, data) }
+
+// Write implements Backend.
+func (b *LustreBackend) Write(p *sim.Proc, node *cluster.Node, path string, data []byte) error {
+	c := b.MountFor(node)
+	if _, err := c.Create(p, path, 0, 0); err != nil {
+		return err
+	}
+	return c.WriteAt(p, path, data, 0)
+}
+
+// Read implements Backend.
+func (b *LustreBackend) Read(p *sim.Proc, node *cluster.Node, path string) ([]byte, error) {
+	c := b.MountFor(node)
+	size, err := c.Stat(p, path)
+	if err != nil {
+		return nil, err
+	}
+	return c.ReadAt(p, path, 0, size)
+}
+
+// Input implements Backend: splits are byte ranges with no locality (all
+// data is remote).
+func (b *LustreBackend) Input(paths []string, splitSize int64) mapreduce.InputFormat {
+	return &lustreRangeInput{be: b, paths: paths, splitSize: splitSize}
+}
+
+type lustreRangeInput struct {
+	be        *LustreBackend
+	paths     []string
+	splitSize int64
+}
+
+type lustreRange struct {
+	path string
+	off  int64
+	n    int64
+}
+
+func (in *lustreRangeInput) Splits(p *sim.Proc) ([]*mapreduce.Split, error) {
+	ss := in.splitSize
+	if ss <= 0 {
+		ss = 128 << 20
+	}
+	var out []*mapreduce.Split
+	for _, path := range paths(in.paths) {
+		size, err := in.be.SetupClient.Stat(p, path)
+		if err != nil {
+			return nil, err
+		}
+		for off := int64(0); off < size; off += ss {
+			n := ss
+			if off+n > size {
+				n = size - off
+			}
+			out = append(out, &mapreduce.Split{
+				Label:   fmt.Sprintf("%s@%d", path, off),
+				Payload: lustreRange{path: path, off: off, n: n},
+				Length:  n,
+			})
+		}
+	}
+	return out, nil
+}
+
+func (in *lustreRangeInput) ForEach(tc *mapreduce.TaskContext, s *mapreduce.Split, fn func(key string, value any) error) error {
+	rg := s.Payload.(lustreRange)
+	var data []byte
+	var err error
+	tc.Phase("Read", func() {
+		data, err = in.be.MountFor(tc.Node()).ReadAt(tc.Proc(), rg.path, rg.off, rg.n)
+	})
+	if err != nil {
+		return err
+	}
+	return fn(s.Label, data)
+}
+
+func paths(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}
+
+// ---- The three Figure 2 workloads.
+
+// MiniConfig sizes a mini workload run.
+type MiniConfig struct {
+	// Files is the input/output file count.
+	Files int
+	// FileBytes is the size of each file.
+	FileBytes int64
+	// SplitSize carves inputs into map splits.
+	SplitSize int64
+	// TaskStartup is the per-task launch cost.
+	TaskStartup float64
+	// ScanPerMB charges map CPU per MB scanned (grep/terasort parse).
+	ScanPerMB float64
+}
+
+// MiniResult reports one mini run.
+type MiniResult struct {
+	// Seconds is the job's virtual duration.
+	Seconds float64
+	// Bytes is the payload moved (for throughput reporting).
+	Bytes int64
+	// Output is workload-specific (match count, checksum).
+	Output int64
+}
+
+// Throughput returns bytes/second.
+func (r MiniResult) Throughput() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Seconds
+}
+
+// synthText builds deterministic text with the marker word scattered in.
+func synthText(n int64, seed int, marker string) []byte {
+	var buf bytes.Buffer
+	buf.Grow(int(n))
+	words := []string{"the", "rain", "falls", "on", "grid", "cells", "while", "model", "steps"}
+	i := seed
+	for int64(buf.Len()) < n {
+		if i%37 == 0 {
+			buf.WriteString(marker)
+		} else {
+			buf.WriteString(words[i%len(words)])
+		}
+		if i%12 == 11 {
+			buf.WriteByte('\n')
+		} else {
+			buf.WriteByte(' ')
+		}
+		i++
+	}
+	return buf.Bytes()[:n]
+}
+
+// InstallTextInputs puts Files input text files on the backend and
+// returns their paths.
+func InstallTextInputs(be Backend, cfg MiniConfig, marker string) []string {
+	var out []string
+	for i := 0; i < cfg.Files; i++ {
+		path := fmt.Sprintf("/mini/in/part-%04d", i)
+		be.Put(path, synthText(cfg.FileBytes, i*131, marker))
+		out = append(out, path)
+	}
+	return out
+}
+
+// RunTestDFSIOWrite measures aggregate write throughput: one map task per
+// file, each writing FileBytes from its node.
+func RunTestDFSIOWrite(p *sim.Proc, cl *cluster.Cluster, be Backend, cfg MiniConfig) (MiniResult, error) {
+	splits := make([]*mapreduce.Split, cfg.Files)
+	for i := range splits {
+		splits[i] = &mapreduce.Split{Label: fmt.Sprintf("w%d", i), Payload: i, Length: cfg.FileBytes}
+	}
+	payload := bytes.Repeat([]byte{0xA5}, int(cfg.FileBytes))
+	job := &mapreduce.Job{
+		Name: "dfsio-write-" + be.Name(), Cluster: cl, TaskStartup: cfg.TaskStartup,
+		Input: staticSplits(splits),
+		Map: func(tc *mapreduce.TaskContext, key string, value any) error {
+			i := value.(int)
+			path := fmt.Sprintf("/mini/io-%s/out-%04d", be.Name(), i)
+			var err error
+			tc.Phase("Write", func() {
+				err = be.Write(tc.Proc(), tc.Node(), path, payload)
+			})
+			return err
+		},
+	}
+	res, err := job.Run(p)
+	if err != nil {
+		return MiniResult{}, err
+	}
+	return MiniResult{Seconds: res.Elapsed(), Bytes: int64(cfg.Files) * cfg.FileBytes}, nil
+}
+
+// RunTestDFSIORead measures aggregate read throughput over the files
+// written by RunTestDFSIOWrite.
+func RunTestDFSIORead(p *sim.Proc, cl *cluster.Cluster, be Backend, cfg MiniConfig) (MiniResult, error) {
+	splits := make([]*mapreduce.Split, cfg.Files)
+	for i := range splits {
+		splits[i] = &mapreduce.Split{Label: fmt.Sprintf("r%d", i), Payload: i, Length: cfg.FileBytes}
+	}
+	var total int64
+	job := &mapreduce.Job{
+		Name: "dfsio-read-" + be.Name(), Cluster: cl, TaskStartup: cfg.TaskStartup,
+		Input: staticSplits(splits),
+		Map: func(tc *mapreduce.TaskContext, key string, value any) error {
+			i := value.(int)
+			path := fmt.Sprintf("/mini/io-%s/out-%04d", be.Name(), i)
+			var data []byte
+			var err error
+			tc.Phase("Read", func() {
+				data, err = be.Read(tc.Proc(), tc.Node(), path)
+			})
+			total += int64(len(data))
+			return err
+		},
+	}
+	res, err := job.Run(p)
+	if err != nil {
+		return MiniResult{}, err
+	}
+	return MiniResult{Seconds: res.Elapsed(), Bytes: total}, nil
+}
+
+// RunGrep counts marker occurrences across the input files.
+func RunGrep(p *sim.Proc, cl *cluster.Cluster, be Backend, cfg MiniConfig, inputs []string, marker string) (MiniResult, error) {
+	var total int64
+	job := &mapreduce.Job{
+		Name: "grep-" + be.Name(), Cluster: cl, TaskStartup: cfg.TaskStartup,
+		Input: be.Input(inputs, cfg.SplitSize),
+		Map: func(tc *mapreduce.TaskContext, key string, value any) error {
+			data := value.([]byte)
+			if cfg.ScanPerMB > 0 {
+				tc.Charge("Scan", cfg.ScanPerMB*float64(len(data))/1e6)
+			}
+			tc.Emit("count", int64(bytes.Count(data, []byte(marker))))
+			return nil
+		},
+		Reduce: func(tc *mapreduce.TaskContext, key string, values []any) error {
+			var sum int64
+			for _, v := range values {
+				sum += v.(int64)
+			}
+			total = sum
+			tc.Emit(key, sum)
+			return nil
+		},
+	}
+	res, err := job.Run(p)
+	if err != nil {
+		return MiniResult{}, err
+	}
+	return MiniResult{Seconds: res.Elapsed(), Bytes: int64(cfg.Files) * cfg.FileBytes, Output: total}, nil
+}
+
+// RunTeraSort sorts fixed-width records by 10-byte key: map emits every
+// record (the full payload crosses the shuffle), reducers write sorted
+// runs back to the backend.
+func RunTeraSort(p *sim.Proc, cl *cluster.Cluster, be Backend, cfg MiniConfig, inputs []string, reducers int) (MiniResult, error) {
+	const rec = 100
+	var outBytes int64
+	job := &mapreduce.Job{
+		Name: "terasort-" + be.Name(), Cluster: cl, TaskStartup: cfg.TaskStartup,
+		Input:       be.Input(inputs, cfg.SplitSize),
+		NumReducers: reducers,
+		PairBytes:   func(kv mapreduce.KV) int64 { return rec },
+		Partition: func(key string, n int) int {
+			if len(key) == 0 {
+				return 0
+			}
+			return int(key[0]) * n / 256
+		},
+		Map: func(tc *mapreduce.TaskContext, key string, value any) error {
+			data := value.([]byte)
+			if cfg.ScanPerMB > 0 {
+				tc.Charge("Scan", cfg.ScanPerMB*float64(len(data))/1e6)
+			}
+			for off := 0; off+rec <= len(data); off += rec {
+				tc.Emit(string(data[off:off+10]), data[off:off+rec])
+			}
+			return nil
+		},
+		Reduce: func(tc *mapreduce.TaskContext, key string, values []any) error {
+			for range values {
+				outBytes += rec
+			}
+			tc.Emit(key, len(values))
+			return nil
+		},
+	}
+	res, err := job.Run(p)
+	if err != nil {
+		return MiniResult{}, err
+	}
+	// Reducers write their sorted runs back.
+	wg := p.Kernel().NewWaitGroup()
+	perRed := outBytes / int64(reducers)
+	for r := 0; r < reducers; r++ {
+		r := r
+		wg.Add(1)
+		node := cl.Nodes[r%len(cl.Nodes)]
+		p.Kernel().Go(fmt.Sprintf("terasort-out-%d", r), func(wp *sim.Proc) {
+			defer wg.Done()
+			be.Write(wp, node, fmt.Sprintf("/mini/sorted-%s/part-%05d", be.Name(), r), make([]byte, perRed))
+		})
+	}
+	p.Wait(wg)
+	return MiniResult{Seconds: p.Now() - res.Start, Bytes: int64(cfg.Files) * cfg.FileBytes, Output: outBytes}, nil
+}
+
+// staticSplits adapts a fixed split list into an InputFormat whose
+// ForEach just hands the payload through.
+type staticSplits []*mapreduce.Split
+
+func (s staticSplits) Splits(p *sim.Proc) ([]*mapreduce.Split, error) { return s, nil }
+
+func (s staticSplits) ForEach(tc *mapreduce.TaskContext, sp *mapreduce.Split, fn func(key string, value any) error) error {
+	return fn(sp.Label, sp.Payload)
+}

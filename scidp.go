@@ -1,0 +1,149 @@
+// Package scidp is a from-scratch Go reproduction of SciDP ("SciDP:
+// Support HPC and Big Data Applications via Integrated Scientific Data
+// Processing", Feng, Sun, Yang, Zhou — IEEE CLUSTER 2018): a runtime that
+// lets a Hadoop-style big-data engine process scientific data (netCDF /
+// HDF5) in place on an HPC parallel file system — no copy to HDFS, no
+// text conversion — through three components:
+//
+//   - a File Explorer that classifies PFS inputs (scientific vs. flat),
+//   - a Data Mapper that mirrors scientific files as virtual HDFS inodes
+//     whose dummy blocks map to PFS file segments / variable hyperslabs,
+//   - a PFS Reader that each map task spawns to pull its block's bytes
+//     straight from the PFS.
+//
+// Because the paper's environment (Lustre, HDFS, Hadoop, the netCDF C
+// library, R) has no Go equivalent, every substrate is implemented here
+// from scratch and runs under a deterministic discrete-event simulation
+// for timing: see DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the paper-versus-measured record.
+//
+// This package is the public façade: it re-exports the stable pieces of
+// the internal packages via type aliases and offers a one-call testbed
+// builder. Direct use of the internal packages from this repository's
+// commands, examples, and benchmarks shows the full surface.
+package scidp
+
+import (
+	"scidp/internal/cluster"
+	"scidp/internal/core"
+	"scidp/internal/hdfs"
+	"scidp/internal/mapreduce"
+	"scidp/internal/netcdf"
+	"scidp/internal/pfs"
+	"scidp/internal/rframe"
+	"scidp/internal/rsql"
+	"scidp/internal/scifmt"
+	"scidp/internal/sim"
+	"scidp/internal/solutions"
+	"scidp/internal/workloads"
+)
+
+// Core SciDP components (the paper's contribution).
+type (
+	// Explorer is the File Explorer (Path Reader + Sci-format Head
+	// Reader).
+	Explorer = core.Explorer
+	// Mapper is the Data Mapper building virtual HDFS mirrors.
+	Mapper = core.Mapper
+	// MapOptions tunes mapping (variable subsetting, block granularity).
+	MapOptions = core.MapOptions
+	// Mapping is a built virtual mirror.
+	Mapping = core.Mapping
+	// PFSReader resolves dummy blocks inside tasks.
+	PFSReader = core.PFSReader
+	// InputFormat plugs SciDP into the MapReduce engine.
+	InputFormat = core.InputFormat
+	// Slab is a decoded variable hyperslab.
+	Slab = core.Slab
+	// SlabSource is a scientific dummy block's mapping payload.
+	SlabSource = core.SlabSource
+	// FlatSource is a flat dummy block's mapping payload.
+	FlatSource = core.FlatSource
+)
+
+// Substrates.
+type (
+	// Kernel is the deterministic discrete-event simulation engine.
+	Kernel = sim.Kernel
+	// Proc is a simulated process.
+	Proc = sim.Proc
+	// Cluster is a set of simulated machines.
+	Cluster = cluster.Cluster
+	// Node is one simulated machine.
+	Node = cluster.Node
+	// PFS is the Lustre-like parallel file system.
+	PFS = pfs.FS
+	// PFSClient is a PFS mount point.
+	PFSClient = pfs.Client
+	// HDFS is the Hadoop distributed file system substrate.
+	HDFS = hdfs.FS
+	// Job is a MapReduce job.
+	Job = mapreduce.Job
+	// TaskContext is handed to map/reduce functions.
+	TaskContext = mapreduce.TaskContext
+	// NetCDFWriter builds files in the netCDF-like format.
+	NetCDFWriter = netcdf.Writer
+	// NetCDFFile is an opened netCDF-like file.
+	NetCDFFile = netcdf.File
+	// Frame is an R-style data frame.
+	Frame = rframe.Frame
+	// FormatRegistry holds scientific-format plugins.
+	FormatRegistry = scifmt.Registry
+)
+
+// Testbed construction and the paper's pipelines.
+type (
+	// Env is the two-cluster testbed (PFS + HDFS + interlink).
+	Env = solutions.Env
+	// EnvConfig sizes a testbed.
+	EnvConfig = solutions.EnvConfig
+	// Workload is a dataset + analyzed variable + analysis kind.
+	Workload = solutions.Workload
+	// Report is one solution run's outcome.
+	Report = solutions.Report
+	// NUWRFSpec sizes a synthetic NU-WRF run.
+	NUWRFSpec = workloads.NUWRFSpec
+	// Dataset describes a generated run.
+	Dataset = workloads.Dataset
+)
+
+// NewKernel returns a fresh simulation kernel.
+func NewKernel() *Kernel { return sim.NewKernel() }
+
+// NewTestbed builds the paper's two-cluster testbed at the given scale
+// factors (see solutions.DefaultEnvConfig).
+func NewTestbed(byteScale, levelScale float64) *Env {
+	return solutions.NewEnv(solutions.DefaultEnvConfig(byteScale, levelScale))
+}
+
+// DefaultFormats returns a registry with the built-in netCDF and HDF5
+// format plugins.
+func DefaultFormats() *FormatRegistry { return scifmt.Default() }
+
+// NewMapper returns a Data Mapper writing mirrors under mirrorRoot.
+func NewMapper(fs *HDFS, reg *FormatRegistry, mirrorRoot string) *Mapper {
+	return core.NewMapper(fs, reg, mirrorRoot)
+}
+
+// GenerateNUWRF synthesizes a NU-WRF run onto the PFS.
+func GenerateNUWRF(fs *PFS, spec NUWRFSpec) (*Dataset, error) {
+	return workloads.Generate(fs, spec)
+}
+
+// RunSciDP executes the SciDP pipeline (map, read in place, plot,
+// analyze) on a testbed from a driver process.
+func RunSciDP(p *Proc, env *Env, wl *Workload) (*Report, error) {
+	return solutions.RunSciDP(p, env, wl)
+}
+
+// NewFrame returns an empty R-style data frame.
+func NewFrame() *Frame { return rframe.New() }
+
+// ReadTable parses CSV text with a header row into a data frame
+// (read.table).
+func ReadTable(text []byte) (*Frame, error) { return rframe.ReadTable(text) }
+
+// Query runs sqldf-style SQL over named data frames.
+func Query(tables map[string]*Frame, sql string) (*Frame, error) {
+	return rsql.Query(tables, sql)
+}

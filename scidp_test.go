@@ -1,0 +1,75 @@
+package scidp_test
+
+import (
+	"testing"
+
+	"scidp"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface once: build a
+// testbed, generate a dataset, run the SciDP pipeline, query a frame.
+func TestFacadeEndToEnd(t *testing.T) {
+	env := scidp.NewTestbed(1000, 10)
+	ds, err := scidp.GenerateNUWRF(env.PFS, scidp.NUWRFSpec{
+		Timestamps: 2, Levels: 5, Lat: 16, Lon: 16, Vars: 4, Dir: "/nuwrf",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *scidp.Report
+	env.K.Go("driver", func(p *scidp.Proc) {
+		rep, err = scidp.RunSciDP(p, env, &scidp.Workload{Dataset: ds, Var: "QR"})
+	})
+	env.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Images != 2*5 {
+		t.Fatalf("images = %d, want 10", rep.Images)
+	}
+	if rep.TotalSeconds <= 0 {
+		t.Fatal("total must be positive")
+	}
+}
+
+func TestFacadeMapperAndSQL(t *testing.T) {
+	env := scidp.NewTestbed(1000, 10)
+	if _, err := scidp.GenerateNUWRF(env.PFS, scidp.NUWRFSpec{
+		Timestamps: 1, Levels: 2, Lat: 8, Lon: 8, Vars: 2, Dir: "/d",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var mapping *scidp.Mapping
+	env.K.Go("driver", func(p *scidp.Proc) {
+		m := scidp.NewMapper(env.HDFS, scidp.DefaultFormats(), "/mirror")
+		var err error
+		mapping, err = m.MapPath(p, env.Mount(env.BD.Node(0)), "/d", scidp.MapOptions{Vars: []string{"QR"}})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	env.K.Run()
+	if mapping == nil || len(mapping.VirtualPaths()) != 1 {
+		t.Fatalf("mapping = %+v", mapping)
+	}
+
+	df, err := scidp.ReadTable([]byte("x\n1\n2\n3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := scidp.Query(map[string]*scidp.Frame{"t": df}, "SELECT SUM(x) AS s FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Col("s").F[0] != 6 {
+		t.Fatalf("sum = %v", out.Col("s").F[0])
+	}
+
+	f2 := scidp.NewFrame()
+	if err := f2.AddFloat("v", []float64{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if f2.NumRows() != 2 {
+		t.Fatalf("rows = %d", f2.NumRows())
+	}
+}
