@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+# check is the CI gate: formatting, vet, build, full tests, and the race
+# detector on the packages with real goroutine concurrency.
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim ./internal/ioengine ./internal/core
+
+bench:
+	$(GO) run ./cmd/scidp-bench -quick

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|ablations] [-quick]
+//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|ablations|ioengine] [-quick]
 //
 // -quick runs a reduced geometry and smaller sweeps (seconds instead of
 // minutes). Output is one aligned text table per experiment, with paper
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, workflow, ablations)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, workflow, ablations, ioengine)")
 	quick := flag.Bool("quick", false, "reduced geometry and sweep sizes")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
 	flag.Parse()
@@ -114,8 +114,12 @@ func main() {
 		emit(bench.AblationOverlap(scale, ablSize))
 		ran = true
 	}
+	if want("ioengine") {
+		emit(bench.AblationIOEngine(scale, ablSize))
+		ran = true
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, workflow, ablations)\n", *exp)
+		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, workflow, ablations, ioengine)\n", *exp)
 		os.Exit(2)
 	}
 }

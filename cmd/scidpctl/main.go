@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	scidpctl [-timestamps n] [-vars QR,VAR01] [-rows n] [-local dir]
+//	scidpctl [-timestamps n] [-vars QR,VAR01] [-rows n] [-blocksize n] [-local dir]
 //
 // With -local, files are read from a local directory (produced by ncgen)
 // instead of being generated.
@@ -30,6 +30,7 @@ func main() {
 	timestamps := flag.Int("timestamps", 2, "generated timestamps (ignored with -local)")
 	varsFlag := flag.String("vars", "", "comma-separated variable subset (empty = all)")
 	rows := flag.Int("rows", 0, "rows per dummy block (0 = chunk-aligned)")
+	blocksize := flag.Int64("blocksize", 0, "dummy-block size for flat files in bytes (0 = HDFS block size)")
 	local := flag.String("local", "", "load files from this directory instead of generating")
 	flag.Parse()
 
@@ -62,7 +63,7 @@ func main() {
 		}
 	}
 
-	opts := core.MapOptions{RowsPerBlock: *rows}
+	opts := core.MapOptions{RowsPerBlock: *rows, FlatBlockSize: *blocksize}
 	if *varsFlag != "" {
 		opts.Vars = strings.Split(*varsFlag, ",")
 	}

@@ -5,6 +5,7 @@ import (
 
 	"scidp/internal/cluster"
 	"scidp/internal/hdfs"
+	"scidp/internal/ioengine"
 	"scidp/internal/mapreduce"
 	"scidp/internal/pfs"
 	"scidp/internal/scifmt"
@@ -44,6 +45,22 @@ type InputFormat struct {
 	MountFor func(node *cluster.Node) *pfs.Client
 	// Cost is the CPU cost model (zero value charges nothing).
 	Cost CostModel
+	// Engine configures each task's PFS Reader I/O engine (zero value:
+	// no cache, no readahead — the pre-engine behavior).
+	Engine EngineOptions
+	// Caches holds the per-node chunk caches when Engine.CacheBytes > 0.
+	// Leave nil to have ForEach create one lazily; set it to share (or
+	// inspect) the caches across jobs.
+	Caches *ioengine.CacheSet
+}
+
+// EngineOptions configures the per-task I/O engine of an InputFormat.
+type EngineOptions struct {
+	// CacheBytes is the per-node decompressed-chunk cache budget
+	// (0 disables caching, < 0 means unbounded).
+	CacheBytes int64
+	// Prefetch is the chunk readahead depth per slab read (0 disables).
+	Prefetch int
 }
 
 // Splits walks the mirror directory: one split per dummy block, with no
@@ -82,6 +99,13 @@ func (in *InputFormat) ForEach(tc *mapreduce.TaskContext, s *mapreduce.Split, fn
 		return fmt.Errorf("core: InputFormat needs MountFor")
 	}
 	reader := NewPFSReader(in.Registry, in.MountFor(tc.Node()))
+	if in.Engine.CacheBytes != 0 {
+		if in.Caches == nil {
+			in.Caches = ioengine.NewCacheSet(in.Engine.CacheBytes)
+		}
+		reader.Cache = in.Caches.For(tc.Node().Name)
+	}
+	reader.Prefetch = in.Engine.Prefetch
 	block := s.Payload.(*hdfs.Block)
 	var value any
 	var err error

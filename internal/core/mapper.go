@@ -58,7 +58,8 @@ type MapOptions struct {
 	// split chunks across tasks, larger values merge them.
 	RowsPerBlock int
 	// FlatBlockSize overrides the dummy-block size for flat files
-	// (default: the HDFS block size, 128 MB in the paper).
+	// (zero: the HDFS block size, 128 MB in the paper). Negative values
+	// are rejected.
 	FlatBlockSize int64
 }
 
@@ -201,8 +202,11 @@ func (m *Mapper) mapOne(p *sim.Proc, fc *FileClass, root string, opts MapOptions
 }
 
 func (m *Mapper) mapFlat(p *sim.Proc, fc *FileClass, hdfsPath string, opts MapOptions) (*MappedFile, error) {
+	if opts.FlatBlockSize < 0 {
+		return nil, fmt.Errorf("core: negative FlatBlockSize %d", opts.FlatBlockSize)
+	}
 	blockSize := opts.FlatBlockSize
-	if blockSize <= 0 {
+	if blockSize == 0 {
 		blockSize = m.HDFS.Config().BlockSize
 	}
 	var blocks []hdfs.VirtualBlockSpec

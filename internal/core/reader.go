@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"scidp/internal/hdfs"
+	"scidp/internal/ioengine"
 	"scidp/internal/pfs"
 	"scidp/internal/scifmt"
 	"scidp/internal/sim"
@@ -12,12 +13,18 @@ import (
 // PFSReader resolves dummy blocks against the parallel file system from
 // inside a task — the paper's PFS Reader. Each task constructs (or is
 // handed) one, bound to the task's own PFS mount so the transfer crosses
-// that node's NIC.
+// that node's NIC. Slab reads go through a per-task I/O engine: an
+// optional shared chunk cache (typically one per node, holding
+// decompressed chunks across tasks) and optional readahead.
 type PFSReader struct {
 	// Registry resolves format names from SlabSource payloads.
 	Registry *scifmt.Registry
 	// Client is the PFS mount of the node the task runs on.
 	Client *pfs.Client
+	// Cache, when non-nil, serves decompressed chunks across slab reads.
+	Cache *ioengine.Cache
+	// Prefetch is the readahead depth for announced chunk plans (0 off).
+	Prefetch int
 }
 
 // NewPFSReader returns a reader over the given mount.
@@ -66,10 +73,11 @@ func (r *PFSReader) ReadSlab(p *sim.Proc, src *SlabSource) (*Slab, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: format %q not installed", src.Format)
 	}
-	reader, err := r.Client.OpenReader(p, src.PFSPath)
+	eng, err := r.Client.Engine(p, src.PFSPath)
 	if err != nil {
 		return nil, err
 	}
+	reader := ioengine.Bind(p, eng, ioengine.Options{Cache: r.Cache, Prefetch: r.Prefetch})
 	raw, err := format.ReadSlab(reader, src.VarPath, src.Start, src.Count)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s/%s: %w", src.PFSPath, src.VarPath, err)

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"scidp/internal/ioengine"
 	"scidp/internal/scifmt"
 )
 
@@ -212,14 +213,16 @@ func (gradsFormat) ReadSlab(r scifmt.ReaderAt, varPath string, start, count []in
 		recBytes := int64(sp.Lat*sp.Lon) * 4
 		off := h.offsets[i] + int64(start[0])*recBytes
 		n := int64(count[0]) * recBytes
-		raw, err := r.ReadAt(off, n)
-		if err != nil {
-			return nil, err
-		}
-		if int64(len(raw)) < n {
-			return nil, fmt.Errorf("grads: truncated data for %s", varPath)
-		}
-		return raw, nil
+		// One contiguous uncompressed slab, read through the engine's
+		// chunk path so a caching source serves repeats without the PFS
+		// transfer.
+		ioengine.Announce(r, []ioengine.Range{{Off: off, Len: n}})
+		return ioengine.ReadChunk(r, off, n, func(raw []byte) ([]byte, error) {
+			if int64(len(raw)) < n {
+				return nil, fmt.Errorf("grads: truncated data for %s", varPath)
+			}
+			return raw, nil
+		})
 	}
 	return nil, fmt.Errorf("grads: no variable %q", varPath)
 }

@@ -23,6 +23,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"scidp/internal/ioengine"
 )
 
 // Magic is the 4-byte file signature.
@@ -354,11 +356,9 @@ func sortedKeys(m map[string]string) []string {
 	return keys
 }
 
-// ReaderAt matches the random-access interface of the netcdf package.
-type ReaderAt interface {
-	ReadAt(off, n int64) ([]byte, error)
-	Size() int64
-}
+// ReaderAt is the shared ioengine random-access view (the same interface
+// the netcdf package parses from).
+type ReaderAt = ioengine.Source
 
 // IsHDF5 reports whether r starts with the format magic — the analogue of
 // H5Fis_hdf5.
@@ -510,10 +510,21 @@ func (f *File) ReadRows(d *Dataset, start, count int) ([]byte, error) {
 	}
 	rb := d.rowBytes()
 	out := make([]byte, int64(count)*rb)
+	// Announce the overlapping chunks so a prefetching source overlaps
+	// their transfers, then read them in plan order.
+	var touched []Chunk
 	for _, c := range d.Chunks {
 		if c.RowStart+c.Rows <= start || c.RowStart >= start+count {
 			continue
 		}
+		touched = append(touched, c)
+	}
+	plan := make([]ioengine.Range, len(touched))
+	for i, c := range touched {
+		plan[i] = ioengine.Range{Off: c.Offset, Len: c.StoredSize}
+	}
+	ioengine.Announce(f.r, plan)
+	for _, c := range touched {
 		raw, err := f.readChunk(d, c)
 		if err != nil {
 			return nil, err
@@ -528,26 +539,26 @@ func (f *File) ReadRows(d *Dataset, start, count int) ([]byte, error) {
 // ReadAll reads the full dataset payload.
 func (f *File) ReadAll(d *Dataset) ([]byte, error) { return f.ReadRows(d, 0, d.Shape[0]) }
 
+// readChunk fetches and decompresses chunk c through the engine's chunk
+// path, so caching/prefetching sources can serve or stage it.
 func (f *File) readChunk(d *Dataset, c Chunk) ([]byte, error) {
-	raw, err := f.r.ReadAt(c.Offset, c.StoredSize)
-	if err != nil {
-		return nil, err
-	}
-	if int64(len(raw)) < c.StoredSize {
-		return nil, fmt.Errorf("hdf5lite: truncated chunk at %d", c.Offset)
-	}
-	if d.Deflate > 0 {
-		fr := flate.NewReader(bytes.NewReader(raw))
-		out, err := io.ReadAll(fr)
-		if err != nil {
-			return nil, err
+	return ioengine.ReadChunk(f.r, c.Offset, c.StoredSize, func(raw []byte) ([]byte, error) {
+		if int64(len(raw)) < c.StoredSize {
+			return nil, fmt.Errorf("hdf5lite: truncated chunk at %d", c.Offset)
 		}
-		raw = out
-	}
-	if int64(len(raw)) != c.RawSize {
-		return nil, fmt.Errorf("hdf5lite: chunk raw size %d, want %d", len(raw), c.RawSize)
-	}
-	return raw, nil
+		if d.Deflate > 0 {
+			fr := flate.NewReader(bytes.NewReader(raw))
+			out, err := io.ReadAll(fr)
+			if err != nil {
+				return nil, err
+			}
+			raw = out
+		}
+		if int64(len(raw)) != c.RawSize {
+			return nil, fmt.Errorf("hdf5lite: chunk raw size %d, want %d", len(raw), c.RawSize)
+		}
+		return raw, nil
+	})
 }
 
 // Float32s decodes raw little-endian bytes as float32 values.

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"scidp/internal/cluster"
+	"scidp/internal/ioengine"
 	"scidp/internal/sim"
 )
 
@@ -486,48 +487,37 @@ func (fs *FS) ReadAt(p *sim.Proc, reader *cluster.Node, path string, off, n int6
 	if off+n > size {
 		n = size - off
 	}
+	// Decompose the request against each block's extent with the shared
+	// range helper; only the intersecting slice of each block transfers.
+	want := ioengine.Range{Off: off, Len: n}
 	out := make([]byte, 0, n)
 	var blockStart int64
 	for _, b := range node.Blocks {
-		blockEnd := blockStart + b.Size
-		if blockEnd > off && blockStart < off+n {
-			if b.Virtual {
-				return nil, fmt.Errorf("hdfs: block %d is virtual; resolve via its Source", b.ID)
-			}
-			lo := maxI64(off, blockStart)
-			hi := minI64(off+n, blockEnd)
-			src := b.Replicas[0]
-			local := false
-			for _, dn := range b.Replicas {
-				if dn.Node == reader {
-					src, local = dn, true
-					break
-				}
-			}
-			if local {
-				p.Transfer(float64(hi-lo), cluster.LocalReadPath(src.Node)...)
-			} else {
-				p.Transfer(float64(hi-lo), fs.cluster.RemoteReadPath(src.Node, reader)...)
-			}
-			out = append(out, b.data[lo-blockStart:hi-blockStart]...)
+		ext := ioengine.Range{Off: blockStart, Len: b.Size}
+		blockStart = ext.End()
+		piece, ok := want.Intersect(ext)
+		if !ok {
+			continue
 		}
-		blockStart = blockEnd
+		if b.Virtual {
+			return nil, fmt.Errorf("hdfs: block %d is virtual; resolve via its Source", b.ID)
+		}
+		src := b.Replicas[0]
+		local := false
+		for _, dn := range b.Replicas {
+			if dn.Node == reader {
+				src, local = dn, true
+				break
+			}
+		}
+		if local {
+			p.Transfer(float64(piece.Len), cluster.LocalReadPath(src.Node)...)
+		} else {
+			p.Transfer(float64(piece.Len), fs.cluster.RemoteReadPath(src.Node, reader)...)
+		}
+		out = append(out, b.data[piece.Off-ext.Off:piece.End()-ext.Off]...)
 	}
 	return out, nil
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minI64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // ReadFile reads every block of a real file in order from reader's

@@ -1,0 +1,294 @@
+// Package ioengine is the shared read path every storage and format layer
+// consumes: one engine-level interface (ReaderAt, charging virtual time
+// per call), one proc-bound view (Source, what format parsers take), and
+// composable wrappers — a sharded LRU chunk cache holding decompressed
+// chunks, a readahead prefetcher issuing upcoming chunk reads on
+// background sim processes, and a stats wrapper replacing the old
+// ad-hoc counting readers. The PFS client, the HDFS range reader, the
+// MPI-IO range math, and the netcdf/hdf5lite/grads plugins all build on
+// this package instead of private copies.
+//
+// Caching assumes the read-only in-place contract SciDP's analysis path
+// has: input files are immutable once analysis starts, so cache entries
+// are never invalidated.
+package ioengine
+
+import (
+	"fmt"
+
+	"scidp/internal/sim"
+)
+
+// ReaderAt is the engine-level random-access interface: every read names
+// the simulated process it charges virtual time to, so one engine (and
+// one cache behind it) can serve many tasks.
+type ReaderAt interface {
+	// ReadAt returns up to n bytes starting at off; short reads at EOF
+	// return what is available.
+	ReadAt(p *sim.Proc, off, n int64) ([]byte, error)
+	// Size returns the total length.
+	Size() int64
+}
+
+// Source is the proc-bound view of a ReaderAt — the random-access
+// interface format parsers consume. The netcdf, hdf5lite, and scifmt
+// ReaderAt names are aliases of this type.
+type Source interface {
+	ReadAt(off, n int64) ([]byte, error)
+	Size() int64
+}
+
+// Bytes adapts an in-memory blob to Source.
+type Bytes []byte
+
+// ReadAt implements Source.
+func (b Bytes) ReadAt(off, n int64) ([]byte, error) {
+	if off < 0 || off >= int64(len(b)) {
+		return nil, nil
+	}
+	end := off + n
+	if end > int64(len(b)) {
+		end = int64(len(b))
+	}
+	return b[off:end], nil
+}
+
+// Size implements Source.
+func (b Bytes) Size() int64 { return int64(len(b)) }
+
+// Stats wraps a Source and tallies bytes and calls — the tracing hook the
+// I/O-efficiency experiments and header-cost tests use.
+type Stats struct {
+	// R is the wrapped source.
+	R Source
+	// BytesRead is the running total of bytes returned.
+	BytesRead int64
+	// Calls is the number of ReadAt invocations.
+	Calls int64
+}
+
+// ReadAt implements Source.
+func (s *Stats) ReadAt(off, n int64) ([]byte, error) {
+	b, err := s.R.ReadAt(off, n)
+	s.BytesRead += int64(len(b))
+	s.Calls++
+	return b, err
+}
+
+// Size implements Source.
+func (s *Stats) Size() int64 { return s.R.Size() }
+
+// Trace is the engine-level stats wrapper: it counts the calls and bytes
+// crossing a ReaderAt, including background prefetch reads.
+type Trace struct {
+	// R is the wrapped engine reader.
+	R ReaderAt
+	// BytesRead is the running total of bytes returned.
+	BytesRead int64
+	// Calls is the number of ReadAt invocations.
+	Calls int64
+}
+
+// ReadAt implements ReaderAt.
+func (t *Trace) ReadAt(p *sim.Proc, off, n int64) ([]byte, error) {
+	b, err := t.R.ReadAt(p, off, n)
+	t.BytesRead += int64(len(b))
+	t.Calls++
+	return b, err
+}
+
+// Size implements ReaderAt.
+func (t *Trace) Size() int64 { return t.R.Size() }
+
+// ChunkReader is the optional Source extension the format plugins probe
+// for: a source that can satisfy a (read stored bytes, decode) pair from
+// a decompressed-chunk cache, skipping both the transfer and the decode.
+type ChunkReader interface {
+	ReadChunk(off, stored int64, decode func(raw []byte) ([]byte, error)) ([]byte, error)
+}
+
+// ReadChunk reads the stored bytes [off, off+stored) of r and decodes
+// them (validation + decompression). When r is a ChunkReader the cache
+// and prefetcher get a chance to serve or stage the chunk; otherwise it
+// is a plain read-then-decode.
+func ReadChunk(r Source, off, stored int64, decode func(raw []byte) ([]byte, error)) ([]byte, error) {
+	if cr, ok := r.(ChunkReader); ok {
+		return cr.ReadChunk(off, stored, decode)
+	}
+	raw, err := r.ReadAt(off, stored)
+	if err != nil {
+		return nil, err
+	}
+	return decode(raw)
+}
+
+// Planner is the optional Source extension a format plugin uses to
+// announce the chunk ranges an upcoming slab read will touch, in read
+// order — the prefetcher's readahead plan.
+type Planner interface {
+	Announce(plan []Range)
+}
+
+// Announce passes the upcoming chunk-read plan to r if it accepts one.
+func Announce(r Source, plan []Range) {
+	if pl, ok := r.(Planner); ok {
+		pl.Announce(plan)
+	}
+}
+
+// Options configures Bind.
+type Options struct {
+	// Cache is the (possibly shared) chunk cache reads go through; nil
+	// disables caching unless Prefetch forces a private staging cache.
+	Cache *Cache
+	// Prefetch is the readahead depth: after each announced chunk is
+	// consumed, up to this many upcoming chunks are read on background
+	// processes. Zero disables readahead.
+	Prefetch int
+	// Name namespaces cache keys (defaults to the reader's Name() when
+	// it has one).
+	Name string
+}
+
+// Bound couples a process to an engine reader and implements Source (plus
+// ChunkReader and Planner), applying the configured cache and prefetcher.
+type Bound struct {
+	p        *sim.Proc
+	r        ReaderAt
+	name     string
+	cache    *Cache
+	prefetch int
+	plan     []Range
+	next     int // plan index of the first not-yet-consumed chunk
+	inflight map[int64]*sim.WaitGroup
+}
+
+// Bind returns a Source over (p, r). With a Cache, chunk reads are served
+// from (and fill) the decompressed-chunk cache; with Prefetch > 0,
+// announced chunks are read ahead on background processes spawned from
+// p's kernel.
+func Bind(p *sim.Proc, r ReaderAt, opts Options) *Bound {
+	b := &Bound{p: p, r: r, name: opts.Name, cache: opts.Cache, prefetch: opts.Prefetch}
+	if b.name == "" {
+		if nr, ok := r.(interface{ Name() string }); ok {
+			b.name = nr.Name()
+		}
+	}
+	if b.prefetch > 0 {
+		if b.cache == nil {
+			b.cache = NewCache(0) // private staging cache for raw readahead
+		}
+		b.inflight = map[int64]*sim.WaitGroup{}
+	}
+	return b
+}
+
+// Size implements Source.
+func (b *Bound) Size() int64 { return b.r.Size() }
+
+// ReadAt implements Source: a plain engine read charged to the bound
+// process (header and probe reads take this path; only chunk reads
+// cache).
+func (b *Bound) ReadAt(off, n int64) ([]byte, error) {
+	return b.r.ReadAt(b.p, off, n)
+}
+
+// Announce implements Planner and kicks off the first readahead window.
+func (b *Bound) Announce(plan []Range) {
+	b.plan = plan
+	b.next = 0
+	b.startPrefetch()
+}
+
+// ReadChunk implements ChunkReader: decompressed-cache hit, else raw
+// bytes (possibly staged by the prefetcher), decode, fill the cache, and
+// advance the readahead window.
+func (b *Bound) ReadChunk(off, stored int64, decode func(raw []byte) ([]byte, error)) ([]byte, error) {
+	b.advance(off)
+	dkey := b.key('d', off, stored)
+	if b.cache != nil {
+		if v, ok := b.cache.Get(dkey); ok {
+			b.startPrefetch()
+			return v, nil
+		}
+	}
+	raw, err := b.fetchRaw(off, stored)
+	if err != nil {
+		return nil, err
+	}
+	out, err := decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	if b.cache != nil {
+		b.cache.Put(dkey, out)
+	}
+	b.startPrefetch()
+	return out, nil
+}
+
+// fetchRaw returns the stored chunk bytes: wait out an in-flight
+// prefetch, check the raw staging entries (peek — hit/miss counters
+// track only the decompressed-chunk lookups), else read on the bound
+// process.
+func (b *Bound) fetchRaw(off, n int64) ([]byte, error) {
+	if b.inflight != nil {
+		if wg := b.inflight[off]; wg != nil {
+			b.p.Wait(wg)
+		}
+	}
+	if b.cache != nil {
+		if raw, ok := b.cache.peek(b.key('r', off, n)); ok {
+			return raw, nil
+		}
+	}
+	return b.r.ReadAt(b.p, off, n)
+}
+
+// advance moves the readahead window past the announced chunk at off.
+func (b *Bound) advance(off int64) {
+	for i := b.next; i < len(b.plan); i++ {
+		if b.plan[i].Off == off {
+			b.next = i + 1
+			return
+		}
+	}
+}
+
+// startPrefetch issues background reads for up to Prefetch upcoming
+// chunks of the announced plan that are neither cached nor in flight.
+func (b *Bound) startPrefetch() {
+	if b.prefetch <= 0 || b.next >= len(b.plan) {
+		return
+	}
+	k := b.p.Kernel()
+	issued := 0
+	for i := b.next; i < len(b.plan) && issued < b.prefetch; i++ {
+		rg := b.plan[i]
+		if _, busy := b.inflight[rg.Off]; busy {
+			issued++ // outstanding reads occupy the window
+			continue
+		}
+		rkey := b.key('r', rg.Off, rg.Len)
+		if b.cache.contains(b.key('d', rg.Off, rg.Len)) || b.cache.contains(rkey) {
+			continue
+		}
+		wg := k.NewWaitGroup()
+		wg.Add(1)
+		b.inflight[rg.Off] = wg
+		k.Go("ioengine/prefetch", func(pp *sim.Proc) {
+			if raw, err := b.r.ReadAt(pp, rg.Off, rg.Len); err == nil {
+				b.cache.Put(rkey, raw)
+			}
+			delete(b.inflight, rg.Off)
+			wg.Done()
+		})
+		issued++
+	}
+}
+
+// key builds a cache key: namespace, entry kind ('d' decompressed chunk,
+// 'r' raw staged bytes), and the byte range.
+func (b *Bound) key(kind byte, off, n int64) string {
+	return fmt.Sprintf("%s#%c@%d+%d", b.name, kind, off, n)
+}

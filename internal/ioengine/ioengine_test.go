@@ -1,0 +1,305 @@
+package ioengine
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"scidp/internal/sim"
+)
+
+func TestBytesSource(t *testing.T) {
+	b := Bytes([]byte("0123456789"))
+	if b.Size() != 10 {
+		t.Fatalf("Size = %d, want 10", b.Size())
+	}
+	got, err := b.ReadAt(3, 4)
+	if err != nil || string(got) != "3456" {
+		t.Fatalf("ReadAt(3,4) = %q, %v", got, err)
+	}
+	if got, _ := b.ReadAt(8, 10); string(got) != "89" {
+		t.Fatalf("short read at EOF = %q, want \"89\"", got)
+	}
+	if got, _ := b.ReadAt(20, 4); got != nil {
+		t.Fatalf("read past EOF = %q, want nil", got)
+	}
+}
+
+func TestStatsWrapper(t *testing.T) {
+	s := &Stats{R: Bytes([]byte("0123456789"))}
+	if _, err := s.ReadAt(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadAt(8, 10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Calls != 2 || s.BytesRead != 6 {
+		t.Fatalf("Calls=%d BytesRead=%d, want 2 and 6", s.Calls, s.BytesRead)
+	}
+	if s.Size() != 10 {
+		t.Fatalf("Size = %d, want 10", s.Size())
+	}
+}
+
+func TestRangeIntersect(t *testing.T) {
+	a := Range{Off: 10, Len: 10}
+	if got, ok := a.Intersect(Range{Off: 15, Len: 10}); !ok || got != (Range{Off: 15, Len: 5}) {
+		t.Fatalf("Intersect = %+v, %v", got, ok)
+	}
+	if _, ok := a.Intersect(Range{Off: 20, Len: 5}); ok {
+		t.Fatal("adjacent ranges should not intersect")
+	}
+	if _, ok := a.Intersect(Range{Off: 0, Len: 10}); ok {
+		t.Fatal("disjoint ranges should not intersect")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	got := Merge([]Range{
+		{Off: 30, Len: 5},
+		{Off: 0, Len: 10},
+		{Off: 8, Len: 4},
+		{Off: 12, Len: 3},
+		{Off: 40, Len: 0},
+	})
+	want := []Range{{Off: 0, Len: 15}, {Off: 30, Len: 5}}
+	if len(got) != len(want) {
+		t.Fatalf("Merge = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Merge[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if out := Merge(nil); len(out) != 0 {
+		t.Fatalf("Merge(nil) = %+v, want empty", out)
+	}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := NewCache(0)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.Put("a", []byte("hello"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "hello" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 0 evictions", st)
+	}
+	if st.Bytes != 5 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 5 bytes in 1 entry", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", got)
+	}
+	if got := (CacheStats{}).HitRate(); got != 0 {
+		t.Fatalf("empty HitRate = %v, want 0", got)
+	}
+}
+
+func TestCacheEvictionUnderBudget(t *testing.T) {
+	const budget = 8 * 64 // 64 bytes per shard
+	c := NewCache(budget)
+	val := make([]byte, 32)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), val)
+	}
+	st := c.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("resident bytes %d exceed budget %d", st.Bytes, budget)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions after overfilling the budget")
+	}
+	if st.Entries*32 != st.Bytes {
+		t.Fatalf("entries %d inconsistent with bytes %d", st.Entries, st.Bytes)
+	}
+	// A value larger than its shard's budget is rejected outright.
+	before := c.Stats()
+	c.Put("huge", make([]byte, 65))
+	if _, ok := c.peek("huge"); ok {
+		t.Fatal("oversized value should not be cached")
+	}
+	if after := c.Stats(); after.Bytes != before.Bytes {
+		t.Fatal("oversized Put changed resident bytes")
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	// Single-shard-sized test via an unbounded cache and manual check:
+	// refreshing an entry must protect it from eviction order. Use keys
+	// until two land in the same shard with a tiny budget.
+	c := NewCache(8 * 2) // 2 bytes per shard: one 1-byte entry each, maybe two
+	sh := c.shard("x")
+	var same []string
+	for i := 0; len(same) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shard(k) == sh {
+			same = append(same, k)
+		}
+	}
+	c.Put(same[0], []byte{1})
+	c.Put(same[1], []byte{2})
+	c.Get(same[0]) // refresh: same[1] is now LRU
+	c.Put(same[2], []byte{3})
+	if !c.contains(same[0]) {
+		t.Fatal("recently used entry was evicted")
+	}
+	if c.contains(same[1]) {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+func TestCacheSet(t *testing.T) {
+	cs := NewCacheSet(0)
+	a, b := cs.For("node-a"), cs.For("node-b")
+	if a == b {
+		t.Fatal("distinct names share a cache")
+	}
+	if cs.For("node-a") != a {
+		t.Fatal("For is not stable per name")
+	}
+	a.Put("k", []byte("vv"))
+	a.Get("k")
+	b.Get("k")
+	st := cs.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Bytes != 2 || st.Entries != 1 {
+		t.Fatalf("aggregate stats = %+v", st)
+	}
+}
+
+// slowReader charges a fixed virtual latency per engine read.
+type slowReader struct {
+	data    []byte
+	latency float64
+	reads   int
+}
+
+func (r *slowReader) ReadAt(p *sim.Proc, off, n int64) ([]byte, error) {
+	r.reads++
+	p.Sleep(r.latency)
+	return Bytes(r.data).ReadAt(off, n)
+}
+
+func (r *slowReader) Size() int64 { return int64(len(r.data)) }
+
+func (r *slowReader) Name() string { return "slow" }
+
+func TestTraceWrapper(t *testing.T) {
+	k := sim.NewKernel()
+	tr := &Trace{R: &slowReader{data: make([]byte, 64), latency: 0.001}}
+	k.Go("p", func(p *sim.Proc) {
+		tr.ReadAt(p, 0, 16)
+		tr.ReadAt(p, 16, 16)
+	})
+	k.Run()
+	if tr.Calls != 2 || tr.BytesRead != 32 {
+		t.Fatalf("Calls=%d BytesRead=%d, want 2 and 32", tr.Calls, tr.BytesRead)
+	}
+	if tr.Size() != 64 {
+		t.Fatalf("Size = %d, want 64", tr.Size())
+	}
+}
+
+// chunkedRead reads nchunks chunks of size sz in order through b,
+// validating content, and returns any error.
+func chunkedRead(tb testing.TB, b *Bound, nchunks int, sz int64, data []byte) {
+	tb.Helper()
+	ident := func(raw []byte) ([]byte, error) { return raw, nil }
+	for i := 0; i < nchunks; i++ {
+		off := int64(i) * sz
+		got, err := b.ReadChunk(off, sz, ident)
+		if err != nil {
+			tb.Fatalf("ReadChunk(%d): %v", off, err)
+		}
+		if !bytes.Equal(got, data[off:off+sz]) {
+			tb.Fatalf("chunk %d content mismatch", i)
+		}
+	}
+}
+
+func TestBoundChunkCacheSkipsReadAndDecode(t *testing.T) {
+	data := []byte("abcdefghijklmnop")
+	r := &slowReader{data: data, latency: 0.01}
+	cache := NewCache(0)
+	decodes := 0
+	var first, second float64
+	k := sim.NewKernel()
+	k.Go("p", func(p *sim.Proc) {
+		b := Bind(p, r, Options{Cache: cache})
+		decode := func(raw []byte) ([]byte, error) { decodes++; return raw, nil }
+		start := p.Now()
+		if _, err := b.ReadChunk(0, 8, decode); err != nil {
+			t.Error(err)
+		}
+		first = p.Now() - start
+		start = p.Now()
+		if _, err := b.ReadChunk(0, 8, decode); err != nil {
+			t.Error(err)
+		}
+		second = p.Now() - start
+	})
+	k.Run()
+	if decodes != 1 {
+		t.Fatalf("decode ran %d times, want 1 (second read cached)", decodes)
+	}
+	if r.reads != 1 {
+		t.Fatalf("engine reads = %d, want 1", r.reads)
+	}
+	if second >= first {
+		t.Fatalf("cached read took %v, cold took %v; want strictly faster", second, first)
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestPrefetchOverlap(t *testing.T) {
+	const nchunks, sz = 6, int64(8)
+	data := make([]byte, int(sz)*nchunks)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	plan := make([]Range, nchunks)
+	for i := range plan {
+		plan[i] = Range{Off: int64(i) * sz, Len: sz}
+	}
+
+	run := func(prefetch int) float64 {
+		r := &slowReader{data: data, latency: 0.01}
+		k := sim.NewKernel()
+		var elapsed float64
+		k.Go("p", func(p *sim.Proc) {
+			b := Bind(p, r, Options{Prefetch: prefetch})
+			b.Announce(plan)
+			chunkedRead(t, b, nchunks, sz, data)
+			elapsed = p.Now()
+		})
+		k.Run()
+		return elapsed
+	}
+
+	sequential := run(0)
+	overlapped := run(4)
+	if want := 0.01 * nchunks; sequential < want {
+		t.Fatalf("sequential run took %v, want >= %v", sequential, want)
+	}
+	if overlapped >= sequential {
+		t.Fatalf("prefetch run took %v, sequential %v; want strictly faster", overlapped, sequential)
+	}
+}
+
+func TestAnnounceOnPlainSourceIsNoOp(t *testing.T) {
+	Announce(Bytes([]byte("xy")), []Range{{Off: 0, Len: 2}}) // must not panic
+	got, err := ReadChunk(Bytes([]byte("xy")), 0, 2, func(raw []byte) ([]byte, error) {
+		return append([]byte("!"), raw...), nil
+	})
+	if err != nil || string(got) != "!xy" {
+		t.Fatalf("ReadChunk fallback = %q, %v", got, err)
+	}
+}

@@ -1,0 +1,48 @@
+package ioengine
+
+import "sort"
+
+// Range is a half-open byte range [Off, Off+Len). It is the shared
+// currency of the read path: MPI-IO file views, HDFS block stitching,
+// and chunk readahead plans all decompose into Ranges.
+type Range struct {
+	// Off is the starting byte offset.
+	Off int64
+	// Len is the length in bytes.
+	Len int64
+}
+
+// End returns the exclusive end offset.
+func (r Range) End() int64 { return r.Off + r.Len }
+
+// Intersect returns the overlap of r and o, and whether it is non-empty.
+func (r Range) Intersect(o Range) (Range, bool) {
+	s := max(r.Off, o.Off)
+	e := min(r.End(), o.End())
+	if e <= s {
+		return Range{}, false
+	}
+	return Range{Off: s, Len: e - s}, true
+}
+
+// Merge coalesces overlapping or adjacent ranges into a minimal sorted
+// set, dropping empty ones. The input is not modified.
+func Merge(rs []Range) []Range {
+	var out []Range
+	for _, r := range rs {
+		if r.Len > 0 {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
+	w := 0
+	for _, r := range out {
+		if w > 0 && r.Off <= out[w-1].End() {
+			out[w-1].Len = max(out[w-1].End(), r.End()) - out[w-1].Off
+			continue
+		}
+		out[w] = r
+		w++
+	}
+	return out[:w]
+}

@@ -9,9 +9,9 @@ package mpiio
 
 import (
 	"fmt"
-	"sort"
 
 	"scidp/internal/cluster"
+	"scidp/internal/ioengine"
 	"scidp/internal/pfs"
 	"scidp/internal/sim"
 )
@@ -46,13 +46,10 @@ func (c *Comm) Size() int { return len(c.ranks) }
 // Ranks returns the communicator's ranks in order.
 func (c *Comm) Ranks() []Rank { return c.ranks }
 
-// Range is one rank's byte request against the shared file.
-type Range struct {
-	// Off is the file offset.
-	Off int64
-	// Len is the byte count.
-	Len int64
-}
+// Range is one rank's byte request against the shared file — the
+// ioengine byte range, so file views, HDFS stitching, and chunk plans
+// share one type.
+type Range = ioengine.Range
 
 // Result collects a collective operation's outcome. Fields are valid
 // after the kernel has drained (sim.Kernel.Run) or after Await returns.
@@ -202,10 +199,11 @@ func (c *Comm) CollectiveRead(path string, reqs []Range, aggregators int) *Resul
 				out := make([]byte, req.Len)
 				var parts []sim.Part
 				for ri, rg := range regions {
-					s, e := maxI64(req.Off, rg.off), minI64(req.Off+req.Len, rg.off+rg.length)
-					if e <= s {
+					piece, ok := req.Intersect(Range{Off: rg.off, Len: rg.length})
+					if !ok {
 						continue
 					}
+					s, e := piece.Off, piece.End()
 					copy(out[s-req.Off:e-req.Off], buffers[ri][s-rg.off:e-rg.off])
 					src := c.ranks[rg.agg].Node
 					if src != c.ranks[i].Node {
@@ -295,10 +293,11 @@ func (c *Comm) CollectiveWrite(path string, reqs []Range, data [][]byte, aggrega
 			}
 			var parts []sim.Part
 			for ri, rg := range regions {
-				s, e := maxI64(req.Off, rg.off), minI64(req.Off+req.Len, rg.off+rg.length)
-				if e <= s {
+				piece, ok := req.Intersect(Range{Off: rg.off, Len: rg.length})
+				if !ok {
 					continue
 				}
+				s, e := piece.Off, piece.End()
 				copy(buffers[ri][s-rg.off:e-rg.off], data[i][s-req.Off:e-req.Off])
 				dst := c.ranks[rg.agg].Node
 				if dst != c.ranks[i].Node {
@@ -353,37 +352,6 @@ func ContiguousSplit(size int64, count int) []Range {
 	return out
 }
 
-// MergeRanges sorts and coalesces overlapping or adjacent ranges.
-func MergeRanges(in []Range) []Range {
-	rs := make([]Range, 0, len(in))
-	for _, r := range in {
-		if r.Len > 0 {
-			rs = append(rs, r)
-		}
-	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Off < rs[j].Off })
-	var out []Range
-	for _, r := range rs {
-		if n := len(out); n > 0 && r.Off <= out[n-1].Off+out[n-1].Len {
-			end := maxI64(out[n-1].Off+out[n-1].Len, r.Off+r.Len)
-			out[n-1].Len = end - out[n-1].Off
-			continue
-		}
-		out = append(out, r)
-	}
-	return out
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minI64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
+// MergeRanges sorts and coalesces overlapping or adjacent ranges — the
+// shared ioengine.Merge.
+func MergeRanges(in []Range) []Range { return ioengine.Merge(in) }

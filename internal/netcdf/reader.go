@@ -5,58 +5,22 @@ import (
 	"compress/flate"
 	"fmt"
 	"io"
+
+	"scidp/internal/ioengine"
 )
 
-// ReaderAt is the random-access source a file is parsed from. The PFS
-// client's simulated reader implements it (charging virtual time per
-// call); BytesReader implements it over a plain in-memory blob.
-type ReaderAt interface {
-	// ReadAt returns up to n bytes starting at off; short reads at EOF
-	// return what is available.
-	ReadAt(off, n int64) ([]byte, error)
-	// Size returns the total file length.
-	Size() int64
-}
+// ReaderAt is the random-access source a file is parsed from — the shared
+// ioengine view. The PFS client's engine-backed reader implements it
+// (charging virtual time per call, optionally caching and prefetching
+// chunks); BytesReader implements it over a plain in-memory blob.
+type ReaderAt = ioengine.Source
 
 // BytesReader adapts an in-memory blob to ReaderAt.
-type BytesReader []byte
-
-// ReadAt implements ReaderAt.
-func (b BytesReader) ReadAt(off, n int64) ([]byte, error) {
-	if off < 0 || off >= int64(len(b)) {
-		return nil, nil
-	}
-	end := off + n
-	if end > int64(len(b)) {
-		end = int64(len(b))
-	}
-	return b[off:end], nil
-}
-
-// Size implements ReaderAt.
-func (b BytesReader) Size() int64 { return int64(len(b)) }
+type BytesReader = ioengine.Bytes
 
 // CountingReader wraps a ReaderAt and tallies bytes and calls — the hook
 // the I/O-efficiency experiments (Figure 6) and the header-cost tests use.
-type CountingReader struct {
-	// R is the wrapped source.
-	R ReaderAt
-	// BytesRead is the running total of bytes returned.
-	BytesRead int64
-	// Calls is the number of ReadAt invocations.
-	Calls int64
-}
-
-// ReadAt implements ReaderAt.
-func (c *CountingReader) ReadAt(off, n int64) ([]byte, error) {
-	b, err := c.R.ReadAt(off, n)
-	c.BytesRead += int64(len(b))
-	c.Calls++
-	return b, err
-}
-
-// Size implements ReaderAt.
-func (c *CountingReader) Size() int64 { return c.R.Size() }
+type CountingReader = ioengine.Stats
 
 // Detect reports whether r starts with the format magic — the format-
 // checking probe the Sci-format Head Reader uses (the analogue of
@@ -169,27 +133,27 @@ func (f *File) Var(name string) (*Var, error) {
 	return v, nil
 }
 
-// readChunk fetches and decompresses chunk ci of v.
+// readChunk fetches and decompresses chunk ci of v through the engine's
+// chunk path, so a caching source serves (and stores) the decompressed
+// payload and a prefetching source stages upcoming chunks.
 func (f *File) readChunk(v *Var, ci ChunkInfo) ([]byte, error) {
-	raw, err := f.r.ReadAt(ci.Offset, ci.StoredSize)
-	if err != nil {
-		return nil, err
-	}
-	if int64(len(raw)) < ci.StoredSize {
-		return nil, fmt.Errorf("netcdf: %s: truncated chunk at %d", v.Name, ci.Offset)
-	}
-	if v.Deflate > 0 {
-		fr := flate.NewReader(bytes.NewReader(raw))
-		out, err := io.ReadAll(fr)
-		if err != nil {
-			return nil, fmt.Errorf("netcdf: %s: inflate: %w", v.Name, err)
+	return ioengine.ReadChunk(f.r, ci.Offset, ci.StoredSize, func(raw []byte) ([]byte, error) {
+		if int64(len(raw)) < ci.StoredSize {
+			return nil, fmt.Errorf("netcdf: %s: truncated chunk at %d", v.Name, ci.Offset)
 		}
-		raw = out
-	}
-	if int64(len(raw)) != ci.RawSize {
-		return nil, fmt.Errorf("netcdf: %s: chunk raw size %d, want %d", v.Name, len(raw), ci.RawSize)
-	}
-	return raw, nil
+		if v.Deflate > 0 {
+			fr := flate.NewReader(bytes.NewReader(raw))
+			out, err := io.ReadAll(fr)
+			if err != nil {
+				return nil, fmt.Errorf("netcdf: %s: inflate: %w", v.Name, err)
+			}
+			raw = out
+		}
+		if int64(len(raw)) != ci.RawSize {
+			return nil, fmt.Errorf("netcdf: %s: chunk raw size %d, want %d", v.Name, len(raw), ci.RawSize)
+		}
+		return raw, nil
+	})
 }
 
 // GetVara reads the hyperslab [start, start+count) of the named variable —
@@ -227,28 +191,13 @@ func (f *File) GetVara(name string, start, count []int) (*Array, error) {
 		lo[i] = start[i] / cs[i]
 		hi[i] = (start[i] + count[i] - 1) / cs[i]
 	}
+	// Enumerate the overlapping chunks up front so the read plan can be
+	// announced to the engine (a prefetching source overlaps the chunk
+	// transfers), then read and scatter them in plan order.
+	var touched [][]int
 	idx := append([]int(nil), lo...)
 	for {
-		linear := dot(idx, gstr)
-		if linear >= len(v.Chunks) {
-			return nil, fmt.Errorf("netcdf: %s: chunk index %v out of range", name, idx)
-		}
-		ci := v.Chunks[linear]
-		raw, err := f.readChunk(v, ci)
-		if err != nil {
-			return nil, err
-		}
-		cStart, cExtent := v.chunkExtent(idx)
-		iStart, iExtent, ok := boxIntersect(start, count, cStart, cExtent)
-		if ok {
-			srcStart := make([]int, len(shape))
-			dstStart := make([]int, len(shape))
-			for i := range shape {
-				srcStart[i] = iStart[i] - cStart[i]
-				dstStart[i] = iStart[i] - start[i]
-			}
-			copyBox(out.Data, count, dstStart, raw, cExtent, srcStart, iExtent, es)
-		}
+		touched = append(touched, append([]int(nil), idx...))
 		// Advance idx within [lo, hi].
 		d := len(idx) - 1
 		for d >= 0 {
@@ -261,6 +210,34 @@ func (f *File) GetVara(name string, start, count []int) (*Array, error) {
 		}
 		if d < 0 {
 			break
+		}
+	}
+	plan := make([]ioengine.Range, 0, len(touched))
+	for _, ix := range touched {
+		linear := dot(ix, gstr)
+		if linear >= len(v.Chunks) {
+			return nil, fmt.Errorf("netcdf: %s: chunk index %v out of range", name, ix)
+		}
+		ci := v.Chunks[linear]
+		plan = append(plan, ioengine.Range{Off: ci.Offset, Len: ci.StoredSize})
+	}
+	ioengine.Announce(f.r, plan)
+	for _, ix := range touched {
+		ci := v.Chunks[dot(ix, gstr)]
+		raw, err := f.readChunk(v, ci)
+		if err != nil {
+			return nil, err
+		}
+		cStart, cExtent := v.chunkExtent(ix)
+		iStart, iExtent, ok := boxIntersect(start, count, cStart, cExtent)
+		if ok {
+			srcStart := make([]int, len(shape))
+			dstStart := make([]int, len(shape))
+			for i := range shape {
+				srcStart[i] = iStart[i] - cStart[i]
+				dstStart[i] = iStart[i] - start[i]
+			}
+			copyBox(out.Data, count, dstStart, raw, cExtent, srcStart, iExtent, es)
 		}
 	}
 	return out, nil

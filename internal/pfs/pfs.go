@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"scidp/internal/ioengine"
 	"scidp/internal/sim"
 )
 
@@ -364,28 +365,46 @@ func (c *Client) Remove(p *sim.Proc, path string) error {
 	return nil
 }
 
-// Reader adapts a file to the random-access interface scientific-format
-// readers consume, charging virtual time on every call.
-type Reader struct {
+// fileEngine exposes one PFS file as an ioengine.ReaderAt: any process
+// can read through it, each call charging the striped parallel path.
+type fileEngine struct {
 	c    *Client
-	p    *sim.Proc
 	path string
 	size int64
 }
 
-// OpenReader stats the file (one MDS op) and returns a positioned reader.
-func (c *Client) OpenReader(p *sim.Proc, path string) (*Reader, error) {
+// ReadAt implements ioengine.ReaderAt.
+func (e *fileEngine) ReadAt(p *sim.Proc, off, n int64) ([]byte, error) {
+	return e.c.ReadAt(p, e.path, off, n)
+}
+
+// Size implements ioengine.ReaderAt.
+func (e *fileEngine) Size() int64 { return e.size }
+
+// Name namespaces the engine's cache keys with the file path.
+func (e *fileEngine) Name() string { return e.path }
+
+// Engine stats the file (one MDS op) and returns its engine-level reader.
+func (c *Client) Engine(p *sim.Proc, path string) (ioengine.ReaderAt, error) {
 	size, err := c.Stat(p, path)
 	if err != nil {
 		return nil, err
 	}
-	return &Reader{c: c, p: p, path: path, size: size}, nil
+	return &fileEngine{c: c, path: path, size: size}, nil
 }
 
-// Size returns the file length observed at open time.
-func (r *Reader) Size() int64 { return r.size }
+// Reader adapts a file to the random-access interface scientific-format
+// readers consume, charging virtual time on every call. It is an
+// engine-backed ioengine.Bound, so callers can layer a chunk cache or
+// readahead via Client.Engine + ioengine.Bind instead when they need to.
+type Reader = ioengine.Bound
 
-// ReadAt reads n bytes at off in virtual time.
-func (r *Reader) ReadAt(off, n int64) ([]byte, error) {
-	return r.c.ReadAt(r.p, r.path, off, n)
+// OpenReader stats the file (one MDS op) and returns a positioned reader
+// with no cache or readahead configured.
+func (c *Client) OpenReader(p *sim.Proc, path string) (*Reader, error) {
+	eng, err := c.Engine(p, path)
+	if err != nil {
+		return nil, err
+	}
+	return ioengine.Bind(p, eng, ioengine.Options{}), nil
 }

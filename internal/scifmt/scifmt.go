@@ -11,14 +11,14 @@ package scifmt
 import (
 	"fmt"
 	"strings"
+
+	"scidp/internal/ioengine"
 )
 
-// ReaderAt is the random-access source formats parse (identical to
-// netcdf.ReaderAt; redeclared so this package stays format-agnostic).
-type ReaderAt interface {
-	ReadAt(off, n int64) ([]byte, error)
-	Size() int64
-}
+// ReaderAt is the random-access source formats parse — the shared
+// ioengine view, so every plugin automatically reads through whatever
+// cache/prefetch wrappers the caller bound.
+type ReaderAt = ioengine.Source
 
 // Segment locates one stored chunk of a variable within its file and the
 // array box it decodes to — the unit SciDP's Data Mapper turns into a

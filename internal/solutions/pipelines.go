@@ -6,6 +6,7 @@ import (
 
 	"scidp/internal/core"
 	"scidp/internal/hdfs"
+	"scidp/internal/ioengine"
 	"scidp/internal/mapreduce"
 	"scidp/internal/netcdf"
 	"scidp/internal/sim"
@@ -367,6 +368,16 @@ type SciDPOptions struct {
 	// RowsPerBlock overrides dummy-block granularity (0 = one task per
 	// variable, the configuration the paper's Figure 7 measures).
 	RowsPerBlock int
+	// Name namespaces the run's HDFS mirror and results directories
+	// (default "scidp"), letting several runs share one environment.
+	Name string
+	// Engine configures each task's PFS Reader I/O engine (chunk cache
+	// budget, readahead depth).
+	Engine core.EngineOptions
+	// Caches, when non-nil, is the per-node chunk cache set the run uses
+	// — pass the same set to a later run to start it warm, or inspect
+	// its Stats afterwards.
+	Caches *ioengine.CacheSet
 }
 
 // RunSciDP is Table I's last row: no conversion, no copy — the Data
@@ -379,13 +390,17 @@ func RunSciDP(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
 
 // RunSciDPWith is RunSciDP with explicit tuning.
 func RunSciDPWith(p *sim.Proc, env *Env, wl *Workload, opts SciDPOptions) (*Report, error) {
-	rep := &Report{Solution: "scidp"}
+	name := opts.Name
+	if name == "" {
+		name = "scidp"
+	}
+	rep := &Report{Solution: name}
 	start := p.Now()
 	rows := opts.RowsPerBlock
 	if rows == 0 {
 		rows = wl.Dataset.Spec.Levels // one task per (file, variable)
 	}
-	mapper := core.NewMapper(env.HDFS, env.Registry, "/scidp")
+	mapper := core.NewMapper(env.HDFS, env.Registry, "/"+name)
 	mapping, err := mapper.MapPath(p, env.Mount(env.BD.Node(0)), wl.Dataset.Spec.Dir, core.MapOptions{
 		Vars:         []string{wl.Var},
 		RowsPerBlock: rows,
@@ -399,8 +414,10 @@ func RunSciDPWith(p *sim.Proc, env *Env, wl *Workload, opts SciDPOptions) (*Repo
 			DecompressPerRawMB: env.Cfg.Cost.DecompressPerMB * env.Cfg.ByteScale,
 			ConvertPerRawMB:    env.Cfg.Cost.BinConvertPerMB * env.Cfg.ByteScale,
 		},
+		Engine: opts.Engine,
+		Caches: opts.Caches,
 	}
-	res, stats, err := runProcessing(p, env, wl, "scidp", input,
+	res, stats, err := runProcessing(p, env, wl, name, input,
 		func(tc *mapreduce.TaskContext, key string, value any) (*grid, error) {
 			slab := value.(*core.Slab)
 			vals, err := slab.Float32s()
