@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-paper
 
 # check is the CI gate: formatting, vet, build, full tests, and the race
 # detector on the packages with real goroutine concurrency.
@@ -20,7 +20,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim ./internal/ioengine ./internal/core
+	$(GO) test -race ./internal/sim ./internal/ioengine ./internal/core ./internal/mapreduce
 
+# bench is the benchmark smoke test: every Benchmark* runs once with
+# allocation stats; a failing benchmark (b.Fatal/b.Error) fails the target.
 bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
+
+# bench-paper regenerates the paper's tables/figures via the harness.
+bench-paper:
 	$(GO) run ./cmd/scidp-bench -quick

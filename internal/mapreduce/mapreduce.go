@@ -3,7 +3,9 @@
 // InputFormat abstraction (SciDP's contribution is, concretely, a new
 // input format whose splits are dummy blocks resolved against a PFS),
 // locality-aware slot scheduling over a cluster, map output partitioning,
-// a shuffle that charges the cluster fabric, and reduce aggregation.
+// a streaming sort-merge shuffle that charges the cluster fabric (sorted
+// per-map runs, k-way merged at the reducer — see merge.go), and reduce
+// aggregation.
 //
 // User map/reduce functions are real Go code operating on real data; they
 // charge modeled compute time through TaskContext.Charge / Phase, and all
@@ -18,8 +20,6 @@ package mapreduce
 
 import (
 	"fmt"
-	"hash/fnv"
-	"sort"
 
 	"scidp/internal/cluster"
 	"scidp/internal/sim"
@@ -217,13 +217,6 @@ func (tc *TaskContext) Counter(name string, delta int64) {
 	tc.result.Counters[name] += delta
 }
 
-// defaultPartition hashes the key.
-func defaultPartition(key string, reducers int) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(reducers))
-}
-
 // task is one schedulable unit.
 type task struct {
 	index   int
@@ -310,7 +303,9 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 		return nil, fmt.Errorf("mapreduce: job %s: %w", j.Name, err)
 	}
 
-	// Intermediate state: per map task, per reducer bucket.
+	// Intermediate state: per map task, per reducer sorted run. Each
+	// bucket is sorted once — by sortRun at map completion, or by the
+	// combiner pass — so reducers can k-way merge instead of re-sorting.
 	type mapOut struct {
 		node    *cluster.Node
 		buckets [][]KV
@@ -345,7 +340,11 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 				tc.emit = func(kv KV) {
 					if reducers > 0 {
 						b := partition(kv.K, reducers)
-						mo.buckets[b] = append(mo.buckets[b], kv)
+						bkt := mo.buckets[b]
+						if bkt == nil {
+							bkt = getKVBuf()
+						}
+						mo.buckets[b] = append(bkt, kv)
 						mo.bytes[b] += pairBytes(kv)
 					} else {
 						mapOnly = append(mapOnly, kv)
@@ -357,9 +356,15 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 				if err != nil {
 					return err
 				}
-				if j.Combine != nil && reducers > 0 {
-					if err := combineBuckets(tc, j, mo.buckets, mo.bytes, pairBytes); err != nil {
-						return err
+				if reducers > 0 {
+					if j.Combine != nil {
+						if err := combineBuckets(tc, j, mo.buckets, mo.bytes, pairBytes); err != nil {
+							return err
+						}
+					} else {
+						for b := range mo.buckets {
+							sortRun(mo.buckets[b])
+						}
 					}
 				}
 				outs[i] = mo
@@ -391,14 +396,17 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 			label: fmt.Sprintf("reduce-%d", r),
 			locs:  []string{home.Name},
 			body: func(tc *TaskContext) error {
-				// Shuffle: fetch this reducer's buckets.
+				// Shuffle: fetch this reducer's sorted runs, in map-task
+				// order (the merge's stability tie-break).
 				var parts []sim.Part
-				var pairs []KV
+				runs := make([][]KV, 0, len(outs))
 				for _, mo := range outs {
 					if mo == nil {
 						continue
 					}
-					pairs = append(pairs, mo.buckets[r]...)
+					if len(mo.buckets[r]) > 0 {
+						runs = append(runs, mo.buckets[r])
+					}
 					if mo.node != tc.node && mo.bytes[r] > 0 {
 						parts = append(parts, sim.Part{
 							Bytes: float64(mo.bytes[r]),
@@ -408,28 +416,32 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 					}
 				}
 				tc.Phase("Shuffle", func() { tc.proc.TransferAll(parts...) })
-				// Sort/group (stable to keep emission order within keys).
-				sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].K < pairs[b].K })
+				// Streaming sort-merge: k-way heap merge over the runs,
+				// grouped values reaching Reduce through a pooled buffer
+				// (valid only for the duration of each call).
 				tc.emit = func(kv KV) { finalParts[r] = append(finalParts[r], kv) }
-				for i := 0; i < len(pairs); {
-					jj := i
-					var vals []any
-					for jj < len(pairs) && pairs[jj].K == pairs[i].K {
-						vals = append(vals, pairs[jj].V)
-						jj++
-					}
-					if err := j.Reduce(tc, pairs[i].K, vals); err != nil {
-						return err
-					}
-					i = jj
-				}
-				return nil
+				vals := getVals()
+				defer putVals(vals)
+				return eachGroup(runs, vals, func(key string, vs []any) error {
+					return j.Reduce(tc, key, vs)
+				})
 			},
 		}
 	}
 	j.runPhase(p, "reduce", reduceTasks, startup, maxAttempts, &res.ReduceStats, res, fail)
 	if firstErr != nil {
 		return nil, fmt.Errorf("mapreduce: job %s: %w", j.Name, firstErr)
+	}
+	// The reduce wave has consumed every run; recycle their buffers for
+	// the next wave or job.
+	for _, mo := range outs {
+		if mo == nil {
+			continue
+		}
+		for b := range mo.buckets {
+			putKVBuf(mo.buckets[b])
+			mo.buckets[b] = nil
+		}
 	}
 	for _, part := range finalParts {
 		res.Output = append(res.Output, part...)
@@ -507,40 +519,36 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 }
 
 // combineBuckets runs the combiner over one map task's per-reducer
-// buckets in place, shrinking what the shuffle must move.
+// buckets in place, shrinking what the shuffle must move. Every bucket it
+// leaves behind is a sorted run: the combiner consumes groups in key
+// order, so its output is normally sorted already and ensureSortedRun is
+// a linear scan, not a re-sort.
 func combineBuckets(tc *TaskContext, j *Job, buckets [][]KV, bytes []int64, pairBytes func(KV) int64) error {
 	savedEmit := tc.emit
 	defer func() { tc.emit = savedEmit }()
+	vals := getVals()
+	defer putVals(vals)
 	for b := range buckets {
 		pairs := buckets[b]
 		if len(pairs) < 2 {
 			continue
 		}
-		sort.SliceStable(pairs, func(x, y int) bool { return pairs[x].K < pairs[y].K })
-		var combined []KV
+		sortRun(pairs)
+		combined := getKVBuf()
 		var combinedBytes int64
 		tc.emit = func(kv KV) {
 			combined = append(combined, kv)
 			combinedBytes += pairBytes(kv)
 		}
-		for i := 0; i < len(pairs); {
-			jj := i
-			var vals []any
-			for jj < len(pairs) && pairs[jj].K == pairs[i].K {
-				vals = append(vals, pairs[jj].V)
-				jj++
-			}
-			if err := j.Combine(tc, pairs[i].K, vals); err != nil {
-				return err
-			}
-			i = jj
+		if err := eachGroup([][]KV{pairs}, vals, func(key string, vs []any) error {
+			return j.Combine(tc, key, vs)
+		}); err != nil {
+			return err
 		}
+		ensureSortedRun(combined)
 		buckets[b] = combined
 		bytes[b] = combinedBytes
+		putKVBuf(pairs)
 	}
 	return nil
-}
-
-func sortKVs(kvs []KV) {
-	sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].K < kvs[j].K })
 }

@@ -1,0 +1,230 @@
+// Streaming sort-merge shuffle engine.
+//
+// Each map task's per-reducer bucket is turned into a *sorted run* once,
+// when the map (or its combiner) completes. Reducers consume their runs
+// through a k-way heap merge with streaming group iteration instead of
+// concatenating everything and re-sorting it, and grouped values reach
+// Reduce/Combine through a pooled buffer that is reused across keys — the
+// Hadoop iterator contract: the slice is valid only for the duration of
+// the call.
+//
+// The merge is stable in exactly the order the old concat-and-stable-sort
+// produced: pairs come out in (key, run index, position-within-run)
+// order, where run index is map-task arrival order. Job outputs are
+// byte-identical to the previous path.
+package mapreduce
+
+import (
+	"slices"
+	"strings"
+	"sync"
+)
+
+// sortRun stable-sorts one run by key, preserving emission order within
+// equal keys.
+func sortRun(kvs []KV) {
+	slices.SortStableFunc(kvs, func(a, b KV) int { return strings.Compare(a.K, b.K) })
+}
+
+// runIsSorted reports whether a run is already in key order.
+func runIsSorted(kvs []KV) bool {
+	for i := 1; i < len(kvs); i++ {
+		if kvs[i].K < kvs[i-1].K {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureSortedRun sorts only when needed — combiner output is emitted in
+// group (key) order and is normally already sorted, so this is an O(n)
+// scan on the hot path rather than an O(n log n) re-sort.
+func ensureSortedRun(kvs []KV) {
+	if !runIsSorted(kvs) {
+		sortRun(kvs)
+	}
+}
+
+// runCursor walks one sorted run. idx is the run's arrival order (map
+// task order), the tie-break that keeps the merge stable across runs.
+type runCursor struct {
+	kvs []KV
+	pos int
+	idx int
+}
+
+// mergeIter yields pairs from sorted runs in (key, run index, position)
+// order. Runs are read through cursors and never mutated, so a retried
+// reduce attempt sees them intact.
+type mergeIter struct {
+	cursors []runCursor
+	heap    []*runCursor
+	single  *runCursor // fast path when at most one run is non-empty
+}
+
+// newMerge builds a merge over the given runs; empty runs are skipped up
+// front so the heap only ever holds live cursors.
+func newMerge(runs [][]KV) *mergeIter {
+	m := &mergeIter{}
+	live := 0
+	for _, r := range runs {
+		if len(r) > 0 {
+			live++
+		}
+	}
+	if live == 0 {
+		return m
+	}
+	m.cursors = make([]runCursor, 0, live)
+	for i, r := range runs {
+		if len(r) == 0 {
+			continue
+		}
+		m.cursors = append(m.cursors, runCursor{kvs: r, idx: i})
+	}
+	if live == 1 {
+		m.single = &m.cursors[0]
+		return m
+	}
+	m.heap = make([]*runCursor, len(m.cursors))
+	for i := range m.cursors {
+		m.heap[i] = &m.cursors[i]
+	}
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	return m
+}
+
+// less orders cursors by (head key, run index) — the stability contract.
+func (m *mergeIter) less(a, b *runCursor) bool {
+	ka, kb := a.kvs[a.pos].K, b.kvs[b.pos].K
+	if ka != kb {
+		return ka < kb
+	}
+	return a.idx < b.idx
+}
+
+func (m *mergeIter) siftDown(i int) {
+	h := m.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && m.less(h[r], h[l]) {
+			least = r
+		}
+		if !m.less(h[least], h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// next pops the globally least pair; ok is false when the merge is done.
+func (m *mergeIter) next() (kv KV, ok bool) {
+	if m.single != nil {
+		c := m.single
+		if c.pos >= len(c.kvs) {
+			return KV{}, false
+		}
+		kv = c.kvs[c.pos]
+		c.pos++
+		return kv, true
+	}
+	if len(m.heap) == 0 {
+		return KV{}, false
+	}
+	top := m.heap[0]
+	kv = top.kvs[top.pos]
+	top.pos++
+	if top.pos >= len(top.kvs) {
+		last := len(m.heap) - 1
+		m.heap[0] = m.heap[last]
+		m.heap = m.heap[:last]
+	}
+	if len(m.heap) > 1 {
+		m.siftDown(0)
+	}
+	return kv, true
+}
+
+// eachGroup merges sorted runs and invokes fn once per distinct key with
+// that key's values in (run, emission) order. The vals buffer is reused
+// across calls: the slice passed to fn is valid only for the duration of
+// the call and must not be retained.
+func eachGroup(runs [][]KV, vals *[]any, fn func(key string, vals []any) error) error {
+	m := newMerge(runs)
+	kv, ok := m.next()
+	for ok {
+		key := kv.K
+		buf := (*vals)[:0]
+		buf = append(buf, kv.V)
+		for {
+			kv, ok = m.next()
+			if !ok || kv.K != key {
+				break
+			}
+			buf = append(buf, kv.V)
+		}
+		*vals = buf
+		if err := fn(key, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// kvBufPool recycles run buffers ([]KV) between map waves and jobs: map
+// tasks draw from it on first emit to a bucket and Run returns every
+// consumed run after the reduce wave.
+var kvBufPool sync.Pool
+
+// getKVBuf returns a recycled run buffer, or nil when the pool is empty
+// (append grows it normally in that case).
+func getKVBuf() []KV {
+	if p, _ := kvBufPool.Get().(*[]KV); p != nil {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+// putKVBuf clears a run buffer (dropping key/value references) and
+// returns it to the pool.
+func putKVBuf(s []KV) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	kvBufPool.Put(&s)
+}
+
+// valsPool recycles the grouped-value buffers handed to Reduce/Combine.
+var valsPool sync.Pool
+
+func getVals() *[]any {
+	if p, _ := valsPool.Get().(*[]any); p != nil {
+		return p
+	}
+	s := make([]any, 0, 16)
+	return &s
+}
+
+func putVals(p *[]any) {
+	s := (*p)[:cap(*p)]
+	clear(s)
+	*p = s[:0]
+	valsPool.Put(p)
+}
+
+// sortKVs stable-sorts final job output by key, preserving insertion
+// order within equal keys.
+func sortKVs(kvs []KV) {
+	slices.SortStableFunc(kvs, func(a, b KV) int { return strings.Compare(a.K, b.K) })
+}

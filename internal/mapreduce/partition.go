@@ -1,0 +1,25 @@
+package mapreduce
+
+// FNV-1a constants (hash/fnv's, inlined for a zero-allocation hot path).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// fnv1a32 hashes s with 32-bit FNV-1a, bit-identical to hash/fnv's
+// New32a over the same bytes.
+func fnv1a32(s string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+// defaultPartition routes a key to a reducer by FNV-1a hash. The hash is
+// inlined rather than going through hash/fnv, which costs a heap-allocated
+// hasher plus a []byte conversion per emitted key.
+func defaultPartition(key string, reducers int) int {
+	return int(fnv1a32(key) % uint32(reducers))
+}

@@ -1,0 +1,55 @@
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// hasherPartition is the pre-inline partitioner (one fnv.New32a per key)
+// kept as the equivalence reference and the BenchmarkPartition baseline.
+func hasherPartition(key string, reducers int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(reducers))
+}
+
+func TestDefaultPartitionMatchesHasher(t *testing.T) {
+	keys := []string{
+		"", "a", "b", "ab", "ba", "count", "the", "rain",
+		"plot_18_00_00.nc/QR#3", "héllo wörld", "\x00\xff\x10",
+		"a-rather-long-key-with-structure/0123456789/abcdef",
+	}
+	for i := 0; i < 256; i++ {
+		keys = append(keys, fmt.Sprintf("gen-%04d", i*31))
+	}
+	for _, reducers := range []int{1, 2, 3, 7, 8, 16, 17, 64} {
+		for _, k := range keys {
+			if got, want := defaultPartition(k, reducers), hasherPartition(k, reducers); got != want {
+				t.Fatalf("defaultPartition(%q, %d) = %d, want %d", k, reducers, got, want)
+			}
+		}
+	}
+}
+
+func TestFNV1a32MatchesStdlib(t *testing.T) {
+	for _, s := range []string{"", "x", "chongo was here", "\xff\xfe"} {
+		h := fnv.New32a()
+		h.Write([]byte(s))
+		if got, want := fnv1a32(s), h.Sum32(); got != want {
+			t.Fatalf("fnv1a32(%q) = %#x, want %#x", s, got, want)
+		}
+	}
+}
+
+func TestDefaultPartitionAllocFree(t *testing.T) {
+	keys := []string{"a", "count", "plot_18_00_00.nc/QR#3"}
+	avg := testing.AllocsPerRun(100, func() {
+		for _, k := range keys {
+			defaultPartition(k, 8)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("defaultPartition allocates %v per run, want 0", avg)
+	}
+}

@@ -1,0 +1,166 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scidp/internal/sim"
+)
+
+// benchRuns builds numRuns sorted runs of perRun pairs each, with keys
+// drawn from a shared space so duplicates straddle runs — the shape a
+// combiner-fed reducer sees.
+func benchRuns(numRuns, perRun int) [][]KV {
+	rng := rand.New(rand.NewSource(7))
+	runs := make([][]KV, numRuns)
+	for r := range runs {
+		kvs := make([]KV, perRun)
+		for i := range kvs {
+			kvs[i] = KV{K: fmt.Sprintf("key-%05d", rng.Intn(perRun*2)), V: i}
+		}
+		sortRun(kvs)
+		runs[r] = kvs
+	}
+	return runs
+}
+
+// BenchmarkShuffleMerge compares the reducer-side data plane on identical
+// sorted runs: the streaming k-way merge with a pooled value buffer
+// versus the pre-PR concat + sort.SliceStable + per-key []any path.
+func BenchmarkShuffleMerge(b *testing.B) {
+	const numRuns, perRun = 8, 4096
+	runs := benchRuns(numRuns, perRun)
+	b.Run("merge", func(b *testing.B) {
+		b.ReportAllocs()
+		var vals []any
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := eachGroup(runs, &vals, func(key string, vs []any) error {
+				n += len(vs)
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if n != numRuns*perRun {
+				b.Fatalf("consumed %d pairs, want %d", n, numRuns*perRun)
+			}
+		}
+	})
+	b.Run("concat-sort-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := concatSortGroups(runs, func(key string, vs []any) error {
+				n += len(vs)
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if n != numRuns*perRun {
+				b.Fatalf("consumed %d pairs, want %d", n, numRuns*perRun)
+			}
+		}
+	})
+}
+
+// BenchmarkPartition compares the inlined FNV-1a partitioner against the
+// old per-key fnv.New32a hasher.
+func BenchmarkPartition(b *testing.B) {
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("plot_18_%02d_00.nc/QR#%d", i%24, i)
+	}
+	b.Run("inline", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += defaultPartition(keys[i%len(keys)], 8)
+		}
+		if sink < 0 {
+			b.Fatal("impossible")
+		}
+	})
+	b.Run("hasher-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += hasherPartition(keys[i%len(keys)], 8)
+		}
+		if sink < 0 {
+			b.Fatal("impossible")
+		}
+	})
+}
+
+// byteRecords is an InputFormat whose splits carry pre-built byte
+// payloads of fixed-width records (the TeraSort shape).
+type byteRecords []*Split
+
+func (s byteRecords) Splits(p *sim.Proc) ([]*Split, error) { return s, nil }
+
+func (s byteRecords) ForEach(tc *TaskContext, sp *Split, fn func(key string, value any) error) error {
+	return fn(sp.Label, sp.Payload)
+}
+
+// BenchmarkTeraSortWall measures real wall-clock time of a full
+// TeraSort-shaped job — map emits every 100-byte record keyed by its
+// 10-byte prefix, 4 reducers merge and count — through the whole engine
+// (scheduling, partitioning, shuffle, sort-merge, reduce).
+func BenchmarkTeraSortWall(b *testing.B) {
+	const rec = 100
+	const splitsN, recsPerSplit, reducers = 4, 2000, 4
+	rng := rand.New(rand.NewSource(11))
+	splits := make([]*Split, splitsN)
+	for i := range splits {
+		data := make([]byte, recsPerSplit*rec)
+		rng.Read(data)
+		for off := 0; off < len(data); off += rec {
+			for j := 0; j < 10; j++ {
+				data[off+j] = 'A' + data[off+j]%26
+			}
+		}
+		splits[i] = &Split{Label: fmt.Sprintf("t%d", i), Payload: data, Length: int64(len(data))}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		var total int
+		job := &Job{
+			Name:        "terasort-wall",
+			Cluster:     testCluster(k, 4, 2),
+			TaskStartup: 0.1,
+			Input:       byteRecords(splits),
+			NumReducers: reducers,
+			PairBytes:   func(kv KV) int64 { return rec },
+			Partition: func(key string, n int) int {
+				return int(key[0]) * n / 256
+			},
+			Map: func(tc *TaskContext, key string, value any) error {
+				data := value.([]byte)
+				for off := 0; off+rec <= len(data); off += rec {
+					tc.Emit(string(data[off:off+10]), data[off:off+rec])
+				}
+				return nil
+			},
+			Reduce: func(tc *TaskContext, key string, values []any) error {
+				total += len(values)
+				tc.Emit(key, len(values))
+				return nil
+			},
+		}
+		var res *Result
+		var err error
+		k.Go("driver", func(p *sim.Proc) { res, err = job.Run(p) })
+		k.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if total != splitsN*recsPerSplit {
+			b.Fatalf("reduced %d records, want %d", total, splitsN*recsPerSplit)
+		}
+		if res.Elapsed() <= 0 {
+			b.Fatal("no virtual time elapsed")
+		}
+	}
+}

@@ -7,9 +7,10 @@
 package rframe
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -235,18 +236,24 @@ func (f *Frame) OrderBy(name string, desc bool) (*Frame, error) {
 	for i := range rows {
 		rows[i] = i
 	}
-	sort.SliceStable(rows, func(a, b int) bool {
+	slices.SortStableFunc(rows, func(a, b int) int {
+		var r int
 		if c.Kind == String {
-			if desc {
-				return c.S[rows[a]] > c.S[rows[b]]
+			r = cmp.Compare(c.S[a], c.S[b])
+		} else {
+			// NaNs stay unordered (compare equal), as the pre-slices
+			// comparator behaved.
+			va, vb := c.Float64At(a), c.Float64At(b)
+			if va < vb {
+				r = -1
+			} else if vb < va {
+				r = 1
 			}
-			return c.S[rows[a]] < c.S[rows[b]]
 		}
-		va, vb := c.Float64At(rows[a]), c.Float64At(rows[b])
 		if desc {
-			return va > vb
+			r = -r
 		}
-		return va < vb
+		return r
 	})
 	return f.gather(rows), nil
 }

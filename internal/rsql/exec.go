@@ -3,7 +3,7 @@ package rsql
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 
 	"scidp/internal/rframe"
@@ -575,18 +575,17 @@ func orderFrame(f *rframe.Frame, items []orderItem) (*rframe.Frame, error) {
 			return 0
 		}
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		a, b = idx[a], idx[b]
+	slices.SortStableFunc(idx, func(a, b int) int {
 		for i, it := range items {
 			c := lessVal(keys[a][i], keys[b][i])
 			if it.desc {
 				c = -c
 			}
 			if c != 0 {
-				return c < 0
+				return c
 			}
 		}
-		return false
+		return 0
 	})
 	if sortErr != nil {
 		return nil, sortErr

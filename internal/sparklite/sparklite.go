@@ -15,7 +15,8 @@ package sparklite
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 
 	"scidp/internal/cluster"
 	"scidp/internal/sim"
@@ -179,7 +180,7 @@ func (r *RDD) Collect(p *sim.Proc) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	sort.SliceStable(recs, func(i, j int) bool { return recs[i].K < recs[j].K })
+	slices.SortStableFunc(recs, func(a, b Record) int { return strings.Compare(a.K, b.K) })
 	return recs, nil
 }
 
