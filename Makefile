@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-paper
+.PHONY: check fmt vet build test race bench bench-paper obs-smoke
 
-# check is the CI gate: formatting, vet, build, full tests, and the race
-# detector on the packages with real goroutine concurrency.
-check: fmt vet build test race
+# check is the CI gate: formatting, vet, build, full tests, the race
+# detector on the packages with real goroutine concurrency, and the
+# observability export smoke test.
+check: fmt vet build test race obs-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -30,3 +31,12 @@ bench:
 # bench-paper regenerates the paper's tables/figures via the harness.
 bench-paper:
 	$(GO) run ./cmd/scidp-bench -quick
+
+# obs-smoke runs the quick fig5 sweep with both exporters attached and
+# asserts the exports parse: the trace must be valid JSON with events,
+# the metrics dump non-empty with the headline series present.
+obs-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/scidp-bench -exp fig5 -quick \
+		-trace "$$tmp/trace.json" -metrics "$$tmp/metrics.prom" > /dev/null; \
+	$(GO) run ./cmd/checktrace "$$tmp/trace.json" "$$tmp/metrics.prom"

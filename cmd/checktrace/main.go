@@ -1,0 +1,72 @@
+// Command checktrace validates scidp-bench observability exports — the
+// CI smoke gate behind `make obs-smoke`.
+//
+// Usage:
+//
+//	checktrace trace.json metrics.prom
+//
+// The trace must be valid Chrome trace-event JSON with at least one
+// complete-event span; the metrics dump must be non-empty and contain
+// the headline series (per-OST bytes, cache hit ratio, HDFS read
+// locality). Exit status 0 on success.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fail(fmt.Errorf("usage: checktrace trace.json metrics.prom"))
+	}
+
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fail(fmt.Errorf("%s: not valid JSON: %w", os.Args[1], err))
+	}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		fail(fmt.Errorf("%s: no complete-event spans", os.Args[1]))
+	}
+
+	prom, err := os.ReadFile(os.Args[2])
+	if err != nil {
+		fail(err)
+	}
+	if len(prom) == 0 {
+		fail(fmt.Errorf("%s: empty metrics dump", os.Args[2]))
+	}
+	for _, series := range []string{
+		"pfs_ost_read_bytes_total",
+		"ioengine_cache_hit_ratio",
+		`hdfs_block_reads_total{locality="local"}`,
+	} {
+		if !strings.Contains(string(prom), series) {
+			fail(fmt.Errorf("%s: missing series %s", os.Args[2], series))
+		}
+	}
+
+	fmt.Printf("ok: %d spans, %d metric lines\n", spans, strings.Count(string(prom), "\n"))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "checktrace: %v\n", err)
+	os.Exit(1)
+}

@@ -4,25 +4,40 @@
 // Usage:
 //
 //	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|ablations|ioengine] [-quick]
+//	            [-trace out.json] [-metrics out.prom]
 //
 // -quick runs a reduced geometry and smaller sweeps (seconds instead of
 // minutes). Output is one aligned text table per experiment, with paper
-// expectations in the notes.
+// expectations in the notes. -trace writes a Chrome trace-event JSON of
+// every simulated run (open in Perfetto / chrome://tracing); -metrics
+// writes a Prometheus-style text dump of the component metrics. Either
+// flag attaches the observability registry; without them runs are
+// instrumentation-free.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"scidp/internal/bench"
+	"scidp/internal/ioengine"
+	"scidp/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, workflow, ablations, ioengine)")
 	quick := flag.Bool("quick", false, "reduced geometry and sweep sizes")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the simulated runs to this file")
+	metricsPath := flag.String("metrics", "", "write a Prometheus-style metrics dump to this file")
 	flag.Parse()
+
+	if *tracePath != "" || *metricsPath != "" {
+		bench.Obs = obs.New()
+		ioengine.RegisterObs(bench.Obs)
+	}
 
 	scale := bench.DefaultScale()
 	fig5Sizes := []int{96, 192, 384, 768}
@@ -121,5 +136,27 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, workflow, ablations, ioengine)\n", *exp)
 		os.Exit(2)
+	}
+
+	if *tracePath != "" {
+		writeExport(*tracePath, bench.Obs.WriteChromeTrace)
+	}
+	if *metricsPath != "" {
+		writeExport(*metricsPath, bench.Obs.WritePrometheus)
+	}
+}
+
+// writeExport streams one exporter into path.
+func writeExport(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scidp-bench: %s: %v\n", path, err)
+		os.Exit(1)
 	}
 }

@@ -6,10 +6,12 @@
 //
 // Usage:
 //
-//	scidpctl [-timestamps n] [-vars QR,VAR01] [-rows n] [-blocksize n] [-local dir]
+//	scidpctl [-timestamps n] [-vars QR,VAR01] [-rows n] [-blocksize n] [-local dir] [-v]
 //
 // With -local, files are read from a local directory (produced by ncgen)
-// instead of being generated.
+// instead of being generated. -v attaches the observability registry and
+// appends a per-phase timing table plus the component metrics the run
+// produced (MDS/NameNode op counts, per-OST traffic, ...).
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"scidp/internal/core"
 	"scidp/internal/hdfs"
+	"scidp/internal/obs"
 	"scidp/internal/sim"
 	"scidp/internal/solutions"
 	"scidp/internal/workloads"
@@ -32,9 +35,15 @@ func main() {
 	rows := flag.Int("rows", 0, "rows per dummy block (0 = chunk-aligned)")
 	blocksize := flag.Int64("blocksize", 0, "dummy-block size for flat files in bytes (0 = HDFS block size)")
 	local := flag.String("local", "", "load files from this directory instead of generating")
+	verbose := flag.Bool("v", false, "print per-phase timings and component metrics after the mapping")
 	flag.Parse()
 
-	env := solutions.NewEnv(solutions.DefaultEnvConfig(1, 1))
+	cfg := solutions.DefaultEnvConfig(1, 1)
+	if *verbose {
+		cfg.Obs = obs.New()
+		cfg.Obs.SetProcess("scidpctl")
+	}
+	env := solutions.NewEnv(cfg)
 	dir := "/nuwrf"
 	if *local != "" {
 		entries, err := os.ReadDir(*local)
@@ -73,11 +82,16 @@ func main() {
 	var elapsed float64
 	env.K.Go("scidpctl", func(p *sim.Proc) {
 		m := core.NewMapper(env.HDFS, env.Registry, "/scidp")
+		sp := cfg.Obs.StartSpan("map:"+dir, "ctl", nil)
+		p.SetSpan(sp)
 		start := p.Now()
 		mapping, mapErr = m.MapPath(p, env.Mount(env.BD.Node(0)), dir, opts)
 		elapsed = p.Now() - start
+		p.SetSpan(nil)
+		sp.End()
 	})
 	env.K.Run()
+	env.ExportSimMetrics()
 	if mapErr != nil {
 		fail(mapErr)
 	}
@@ -97,6 +111,18 @@ func main() {
 	}
 	fmt.Printf("\nvirtual files: %d, HDFS bytes stored: %d (dummy blocks hold no data)\n",
 		len(mapping.VirtualPaths()), env.HDFS.TotalUsed())
+
+	if *verbose {
+		fmt.Printf("\n== phases (virtual seconds) ==\n")
+		fmt.Printf("%-24s %8s %12s\n", "phase", "count", "seconds")
+		for _, st := range cfg.Obs.SpanRollup() {
+			fmt.Printf("%-24s %8d %12.6f\n", st.Name, st.Count, st.Seconds)
+		}
+		fmt.Printf("\n== component metrics ==\n")
+		if err := cfg.Obs.WritePrometheus(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
 }
 
 func printBlocks(n *hdfs.INode) {

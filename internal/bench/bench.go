@@ -13,9 +13,27 @@ import (
 	"fmt"
 	"strings"
 
+	"scidp/internal/obs"
 	"scidp/internal/solutions"
 	"scidp/internal/workloads"
 )
+
+// Obs, when set before running experiments, attaches the observability
+// registry to every testbed the experiments build: runs produce spans,
+// component metrics, and resource timelines in it, ready for the
+// Chrome-trace and Prometheus exporters. Leave nil (the default) for
+// instrumentation-free runs.
+var Obs *obs.Registry
+
+// obsEnvConfig stamps the shared registry into a testbed config and
+// names the run's process group (how trace rows are grouped per run).
+func obsEnvConfig(cfg solutions.EnvConfig, process string) solutions.EnvConfig {
+	if Obs != nil {
+		cfg.Obs = Obs
+		Obs.SetProcess(process)
+	}
+	return cfg
+}
 
 // PaperVarRawBytes is the paper's per-variable raw size: "Each variable
 // is about 298MB in raw binary format".

@@ -19,7 +19,7 @@ func RunOne(s Scale, timestamps, nodes int, analysis solutions.AnalysisKind, nam
 	if err != nil {
 		return nil, err
 	}
-	env := solutions.NewEnv(s.EnvConfig(nodes))
+	env := solutions.NewEnv(obsEnvConfig(s.EnvConfig(nodes), fmt.Sprintf("%s@%dts", name, timestamps)))
 	workloads.Install(env.PFS, blobs)
 	wl := &solutions.Workload{Dataset: ds, Var: "QR", Analysis: analysis}
 	var rep *solutions.Report
@@ -37,6 +37,7 @@ func RunOne(s Scale, timestamps, nodes int, analysis solutions.AnalysisKind, nam
 		rep, rerr = run(p, env, wl)
 	})
 	env.K.Run()
+	env.ExportSimMetrics()
 	return rep, rerr
 }
 
@@ -169,7 +170,7 @@ func Fig8ScaleUp(s Scale, timestamps int, slots []int) (*Table, error) {
 		}
 		cfg := s.EnvConfig(8)
 		cfg.SlotsPerNode = sl
-		env := solutions.NewEnv(cfg)
+		env := solutions.NewEnv(obsEnvConfig(cfg, fmt.Sprintf("scidp@%dslots", sl)))
 		workloads.Install(env.PFS, blobs)
 		var rep *solutions.Report
 		var rerr error
@@ -177,6 +178,7 @@ func Fig8ScaleUp(s Scale, timestamps int, slots []int) (*Table, error) {
 			rep, rerr = solutions.RunSciDP(p, env, &solutions.Workload{Dataset: ds, Var: "QR"})
 		})
 		env.K.Run()
+		env.ExportSimMetrics()
 		if rerr != nil {
 			return nil, rerr
 		}

@@ -7,6 +7,7 @@ import (
 	"scidp/internal/hdfs"
 	"scidp/internal/ioengine"
 	"scidp/internal/mapreduce"
+	"scidp/internal/obs"
 	"scidp/internal/pfs"
 	"scidp/internal/scifmt"
 	"scidp/internal/sim"
@@ -52,6 +53,9 @@ type InputFormat struct {
 	// Leave nil to have ForEach create one lazily; set it to share (or
 	// inspect) the caches across jobs.
 	Caches *ioengine.CacheSet
+	// Obs, when non-nil, is handed to each task's PFS Reader so block
+	// reads produce spans and I/O-engine counters.
+	Obs *obs.Registry
 }
 
 // EngineOptions configures the per-task I/O engine of an InputFormat.
@@ -106,6 +110,7 @@ func (in *InputFormat) ForEach(tc *mapreduce.TaskContext, s *mapreduce.Split, fn
 		reader.Cache = in.Caches.For(tc.Node().Name)
 	}
 	reader.Prefetch = in.Engine.Prefetch
+	reader.Obs = in.Obs
 	block := s.Payload.(*hdfs.Block)
 	var value any
 	var err error

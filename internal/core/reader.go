@@ -5,6 +5,7 @@ import (
 
 	"scidp/internal/hdfs"
 	"scidp/internal/ioengine"
+	"scidp/internal/obs"
 	"scidp/internal/pfs"
 	"scidp/internal/scifmt"
 	"scidp/internal/sim"
@@ -25,6 +26,26 @@ type PFSReader struct {
 	Cache *ioengine.Cache
 	// Prefetch is the readahead depth for announced chunk plans (0 off).
 	Prefetch int
+	// Obs, when non-nil, wraps each block read in a span and feeds the
+	// I/O-engine counters.
+	Obs *obs.Registry
+}
+
+// readSpan opens a child span of p's current span, installs it as the
+// current span for the duration of the read (so PFS access spans nest
+// under it), and returns the restore-and-end closure. No-op when no
+// registry is attached.
+func (r *PFSReader) readSpan(p *sim.Proc, name, path string) func() {
+	if r.Obs == nil {
+		return func() {}
+	}
+	sp := r.Obs.StartSpan(name, "core", p.Span())
+	sp.Arg("path", path)
+	prev := p.SetSpan(sp)
+	return func() {
+		p.SetSpan(prev)
+		sp.End()
+	}
 }
 
 // NewPFSReader returns a reader over the given mount.
@@ -55,6 +76,7 @@ func (r *PFSReader) ReadBlock(p *sim.Proc, b *hdfs.Block) (any, error) {
 // (SciDP "reads the entire block in a single I/O request to maximize the
 // bandwidth", unlike Hadoop's 64 KB streaming reads).
 func (r *PFSReader) ReadFlat(p *sim.Proc, src *FlatSource) ([]byte, error) {
+	defer r.readSpan(p, "PFSReader.ReadFlat", src.PFSPath)()
 	data, err := r.Client.ReadAt(p, src.PFSPath, src.Offset, src.Length)
 	if err != nil {
 		return nil, err
@@ -69,6 +91,7 @@ func (r *PFSReader) ReadFlat(p *sim.Proc, src *FlatSource) ([]byte, error) {
 // block's hyperslab through the format plugin — the nc_open / nc_get_vara
 // / nc_close sequence the paper's map tasks perform.
 func (r *PFSReader) ReadSlab(p *sim.Proc, src *SlabSource) (*Slab, error) {
+	defer r.readSpan(p, "PFSReader.ReadSlab", src.PFSPath+"/"+src.VarPath)()
 	format, ok := r.Registry.Lookup(src.Format)
 	if !ok {
 		return nil, fmt.Errorf("core: format %q not installed", src.Format)
@@ -77,7 +100,7 @@ func (r *PFSReader) ReadSlab(p *sim.Proc, src *SlabSource) (*Slab, error) {
 	if err != nil {
 		return nil, err
 	}
-	reader := ioengine.Bind(p, eng, ioengine.Options{Cache: r.Cache, Prefetch: r.Prefetch})
+	reader := ioengine.Bind(p, eng, ioengine.Options{Cache: r.Cache, Prefetch: r.Prefetch, Obs: r.Obs})
 	raw, err := format.ReadSlab(reader, src.VarPath, src.Start, src.Count)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s/%s: %w", src.PFSPath, src.VarPath, err)

@@ -28,6 +28,7 @@ import (
 
 	"scidp/internal/cluster"
 	"scidp/internal/ioengine"
+	"scidp/internal/obs"
 	"scidp/internal/sim"
 )
 
@@ -116,6 +117,30 @@ type FS struct {
 	inodes  map[string]*INode
 	nextID  int64
 	cursor  int
+
+	obs             *obs.Registry
+	nnOps           *obs.Counter
+	localReads      *obs.Counter
+	remoteReads     *obs.Counter
+	localReadBytes  *obs.Counter
+	remoteReadBytes *obs.Counter
+	writeBytes      *obs.Counter
+	pipelineHops    *obs.Counter
+}
+
+// SetObs attaches an observability registry: NameNode op counts,
+// local-versus-remote block read counts and bytes, write bytes, and
+// replication-pipeline hop counts. Detached (the default), every site
+// costs one nil check.
+func (fs *FS) SetObs(r *obs.Registry) {
+	fs.obs = r
+	fs.nnOps = r.Counter("hdfs/namenode_ops_total")
+	fs.localReads = r.Counter("hdfs/block_reads_total", obs.L("locality", "local"))
+	fs.remoteReads = r.Counter("hdfs/block_reads_total", obs.L("locality", "remote"))
+	fs.localReadBytes = r.Counter("hdfs/read_bytes_total", obs.L("locality", "local"))
+	fs.remoteReadBytes = r.Counter("hdfs/read_bytes_total", obs.L("locality", "remote"))
+	fs.writeBytes = r.Counter("hdfs/write_bytes_total")
+	fs.pipelineHops = r.Counter("hdfs/replication_hops_total")
 }
 
 // New builds an HDFS whose DataNodes are every node of cl.
@@ -153,7 +178,34 @@ func (fs *FS) Cluster() *cluster.Cluster { return fs.cluster }
 func (fs *FS) DataNodes() []*DataNode { return fs.dns }
 
 // nnOp charges one NameNode RPC.
-func (fs *FS) nnOp(p *sim.Proc) { p.Transfer(1, fs.nn) }
+func (fs *FS) nnOp(p *sim.Proc) {
+	fs.nnOps.Inc()
+	p.Transfer(1, fs.nn)
+}
+
+// readReplica charges the transfer for reading `bytes` of block b from
+// reader's best replica — the local disk when a replica lives on the
+// reader's node, otherwise the fabric from the first replica — and
+// accounts the read in the locality counters.
+func (fs *FS) readReplica(p *sim.Proc, reader *cluster.Node, b *Block, bytes float64) {
+	src := b.Replicas[0]
+	local := false
+	for _, dn := range b.Replicas {
+		if dn.Node == reader {
+			src, local = dn, true
+			break
+		}
+	}
+	if local {
+		fs.localReads.Inc()
+		fs.localReadBytes.Add(bytes)
+		p.Transfer(bytes, cluster.LocalReadPath(src.Node)...)
+	} else {
+		fs.remoteReads.Inc()
+		fs.remoteReadBytes.Add(bytes)
+		p.Transfer(bytes, fs.cluster.RemoteReadPath(src.Node, reader)...)
+	}
+}
 
 // mkdirAll creates path and its ancestors as directories (no time charge;
 // callers charge RPCs).
@@ -264,6 +316,8 @@ func (fs *FS) WriteFile(p *sim.Proc, client *cluster.Node, path string, data []b
 			dn.BlockCount++
 			prev = dn.Node
 		}
+		fs.writeBytes.Add(float64(len(chunk)))
+		fs.pipelineHops.Add(float64(len(parts)))
 		p.TransferAll(parts...)
 		node.Blocks = append(node.Blocks, b)
 	}
@@ -449,19 +503,7 @@ func (fs *FS) ReadBlock(p *sim.Proc, reader *cluster.Node, b *Block) ([]byte, er
 	if len(b.Replicas) == 0 {
 		return nil, fmt.Errorf("hdfs: block %d has no replicas", b.ID)
 	}
-	src := b.Replicas[0]
-	local := false
-	for _, dn := range b.Replicas {
-		if dn.Node == reader {
-			src, local = dn, true
-			break
-		}
-	}
-	if local {
-		p.Transfer(float64(b.Size), cluster.LocalReadPath(src.Node)...)
-	} else {
-		p.Transfer(float64(b.Size), fs.cluster.RemoteReadPath(src.Node, reader)...)
-	}
+	fs.readReplica(p, reader, b, float64(b.Size))
 	return b.data, nil
 }
 
@@ -502,19 +544,7 @@ func (fs *FS) ReadAt(p *sim.Proc, reader *cluster.Node, path string, off, n int6
 		if b.Virtual {
 			return nil, fmt.Errorf("hdfs: block %d is virtual; resolve via its Source", b.ID)
 		}
-		src := b.Replicas[0]
-		local := false
-		for _, dn := range b.Replicas {
-			if dn.Node == reader {
-				src, local = dn, true
-				break
-			}
-		}
-		if local {
-			p.Transfer(float64(piece.Len), cluster.LocalReadPath(src.Node)...)
-		} else {
-			p.Transfer(float64(piece.Len), fs.cluster.RemoteReadPath(src.Node, reader)...)
-		}
+		fs.readReplica(p, reader, b, float64(piece.Len))
 		out = append(out, b.data[piece.Off-ext.Off:piece.End()-ext.Off]...)
 	}
 	return out, nil

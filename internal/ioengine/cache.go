@@ -45,6 +45,14 @@ func (s CacheStats) Sub(prev CacheStats) CacheStats {
 // Cache is a sharded LRU byte-slice cache with a total byte budget.
 // A budget <= 0 means unbounded. Values are shared, not copied: callers
 // must treat returned slices as read-only.
+//
+// Concurrency contract: in simulation use, every Get/Put happens from
+// sim-process context, which the kernel serializes — the per-shard
+// mutexes are then uncontended and the hit/miss/eviction counters are
+// deterministic (concurrency_test.go checks this under -race). The
+// mutexes exist so that non-simulated callers (tests, tools reading
+// Stats while a kernel runs in another goroutine) stay memory-safe;
+// they do not make counter *ordering* deterministic outside the kernel.
 type Cache struct {
 	shards [cacheShards]cacheShard
 }

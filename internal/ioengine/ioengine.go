@@ -16,6 +16,7 @@ package ioengine
 import (
 	"fmt"
 
+	"scidp/internal/obs"
 	"scidp/internal/sim"
 )
 
@@ -58,6 +59,14 @@ func (b Bytes) Size() int64 { return int64(len(b)) }
 
 // Stats wraps a Source and tallies bytes and calls — the tracing hook the
 // I/O-efficiency experiments and header-cost tests use.
+//
+// Concurrency contract: BytesRead and Calls are plain ints deliberately
+// left unsynchronized. They are mutated only from sim-process context,
+// and the kernel runs exactly one process or event callback at a time
+// (see the sim package comment), so there is no data race and totals
+// are deterministic. Do not share a Stats across kernels or touch it
+// from a real goroutine while Kernel.Run is executing; the invariant is
+// exercised under the race detector in concurrency_test.go.
 type Stats struct {
 	// R is the wrapped source.
 	R Source
@@ -79,7 +88,9 @@ func (s *Stats) ReadAt(off, n int64) ([]byte, error) {
 func (s *Stats) Size() int64 { return s.R.Size() }
 
 // Trace is the engine-level stats wrapper: it counts the calls and bytes
-// crossing a ReaderAt, including background prefetch reads.
+// crossing a ReaderAt, including background prefetch reads. It has the
+// same concurrency contract as Stats: plain counters, safe because the
+// sim kernel serializes all process execution.
 type Trace struct {
 	// R is the wrapped engine reader.
 	R ReaderAt
@@ -148,6 +159,10 @@ type Options struct {
 	// Name namespaces cache keys (defaults to the reader's Name() when
 	// it has one).
 	Name string
+	// Obs, when non-nil, receives chunk-read and prefetch counters
+	// (ioengine/chunk_reads_total{result=hit|miss},
+	// ioengine/prefetch_issued_total, ioengine/prefetch_hits_total).
+	Obs *obs.Registry
 }
 
 // Bound couples a process to an engine reader and implements Source (plus
@@ -161,6 +176,13 @@ type Bound struct {
 	plan     []Range
 	next     int // plan index of the first not-yet-consumed chunk
 	inflight map[int64]*sim.WaitGroup
+
+	// Observability handles (nil when Options.Obs was nil — nil-check
+	// fast path, same single-threaded contract as Stats).
+	chunkHits      *obs.Counter
+	chunkMisses    *obs.Counter
+	prefetchIssued *obs.Counter
+	prefetchHits   *obs.Counter
 }
 
 // Bind returns a Source over (p, r). With a Cache, chunk reads are served
@@ -179,6 +201,12 @@ func Bind(p *sim.Proc, r ReaderAt, opts Options) *Bound {
 			b.cache = NewCache(0) // private staging cache for raw readahead
 		}
 		b.inflight = map[int64]*sim.WaitGroup{}
+	}
+	if opts.Obs != nil {
+		b.chunkHits = opts.Obs.Counter("ioengine/chunk_reads_total", obs.L("result", "hit"))
+		b.chunkMisses = opts.Obs.Counter("ioengine/chunk_reads_total", obs.L("result", "miss"))
+		b.prefetchIssued = opts.Obs.Counter("ioengine/prefetch_issued_total")
+		b.prefetchHits = opts.Obs.Counter("ioengine/prefetch_hits_total")
 	}
 	return b
 }
@@ -208,10 +236,12 @@ func (b *Bound) ReadChunk(off, stored int64, decode func(raw []byte) ([]byte, er
 	dkey := b.key('d', off, stored)
 	if b.cache != nil {
 		if v, ok := b.cache.Get(dkey); ok {
+			b.chunkHits.Inc()
 			b.startPrefetch()
 			return v, nil
 		}
 	}
+	b.chunkMisses.Inc()
 	raw, err := b.fetchRaw(off, stored)
 	if err != nil {
 		return nil, err
@@ -239,6 +269,7 @@ func (b *Bound) fetchRaw(off, n int64) ([]byte, error) {
 	}
 	if b.cache != nil {
 		if raw, ok := b.cache.peek(b.key('r', off, n)); ok {
+			b.prefetchHits.Inc()
 			return raw, nil
 		}
 	}
@@ -276,6 +307,7 @@ func (b *Bound) startPrefetch() {
 		wg := k.NewWaitGroup()
 		wg.Add(1)
 		b.inflight[rg.Off] = wg
+		b.prefetchIssued.Inc()
 		k.Go("ioengine/prefetch", func(pp *sim.Proc) {
 			if raw, err := b.r.ReadAt(pp, rg.Off, rg.Len); err == nil {
 				b.cache.Put(rkey, raw)

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"scidp/internal/cluster"
+	"scidp/internal/obs"
 	"scidp/internal/sim"
 )
 
@@ -100,7 +101,17 @@ type Job struct {
 	// a hook for fault-tolerance tests. Called as FailInject(taskIndex,
 	// attempt).
 	FailInject func(task, attempt int) bool
+	// Obs, when non-nil, receives the job's spans (job -> phase -> task,
+	// with tasks placed on node/slot tracks) and metrics: task counts,
+	// attempts and failures, task and phase duration histograms, shuffle
+	// bytes, and a registry view of TaskContext.Counter. Nil costs one
+	// check per site.
+	Obs *obs.Registry
 }
+
+// taskSecondsBuckets covers task and phase durations from 1/8 s to ~17
+// virtual minutes, doubling per bucket.
+var taskSecondsBuckets = obs.ExpBuckets(0.125, 2, 14)
 
 // TaskStats records one task's timing.
 type TaskStats struct {
@@ -203,6 +214,9 @@ func (tc *TaskContext) Phase(name string, fn func()) {
 }
 
 func (tc *TaskContext) addPhase(name string, d float64) {
+	if tc.job.Obs != nil {
+		tc.job.Obs.Histogram("mr/task_phase_seconds", taskSecondsBuckets, obs.L("phase", name)).Observe(d)
+	}
 	for i := range tc.stats.Phases {
 		if tc.stats.Phases[i].Name == name {
 			tc.stats.Phases[i].Seconds += d
@@ -212,9 +226,15 @@ func (tc *TaskContext) addPhase(name string, d float64) {
 	tc.stats.Phases = append(tc.stats.Phases, Phase{Name: name, Seconds: d})
 }
 
-// Counter adds delta to the named job counter.
+// Counter adds delta to the named job counter. With Job.Obs attached
+// the same increment lands in the registry series
+// mr/counter_total{job=..., name=...}, so user counters appear in the
+// Prometheus dump alongside the engine's own metrics.
 func (tc *TaskContext) Counter(name string, delta int64) {
 	tc.result.Counters[name] += delta
+	if tc.job.Obs != nil {
+		tc.job.Obs.Counter("mr/counter_total", obs.L("job", tc.job.Name), obs.L("name", name)).Add(float64(delta))
+	}
 }
 
 // task is one schedulable unit.
@@ -297,6 +317,22 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 	}
 
 	res := &Result{Counters: map[string]int64{}, Start: p.Now()}
+
+	var shuffleBytes *obs.Counter
+	if j.Obs != nil {
+		j.Obs.Counter("mr/jobs_total").Inc()
+		shuffleBytes = j.Obs.Counter("mr/shuffle_bytes_total")
+		jobSpan := j.Obs.StartSpan("job:"+j.Name, "mapreduce", p.Span())
+		jobSpan.SetTrack("driver")
+		jobSpan.Arg("job", j.Name)
+		if jobSpan != nil {
+			prev := p.SetSpan(jobSpan)
+			defer func() {
+				p.SetSpan(prev)
+				jobSpan.End()
+			}()
+		}
+	}
 
 	splits, err := j.Input.Splits(p)
 	if err != nil {
@@ -413,6 +449,7 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 							Res:   j.Cluster.NetPath(mo.node, tc.node),
 						})
 						res.ShuffleBytes += mo.bytes[r]
+						shuffleBytes.Add(float64(mo.bytes[r]))
 					}
 				}
 				tc.Phase("Shuffle", func() { tc.proc.TransferAll(parts...) })
@@ -455,6 +492,17 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 // driver until every task finishes or permanently fails.
 func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64, maxAttempts int, stats *[]TaskStats, res *Result, fail func(error)) {
 	k := p.Kernel()
+	var phaseSpan *obs.Span
+	var attempts, failures, completed *obs.Counter
+	var taskSeconds *obs.Histogram
+	if j.Obs != nil {
+		phaseSpan = j.Obs.StartSpan("phase:"+phase, "mapreduce", p.Span())
+		l := obs.L("phase", phase)
+		attempts = j.Obs.Counter("mr/task_attempts_total", l)
+		failures = j.Obs.Counter("mr/task_failures_total", l)
+		completed = j.Obs.Counter("mr/tasks_total", l)
+		taskSeconds = j.Obs.Histogram("mr/task_seconds", taskSecondsBuckets, l)
+	}
 	q := &localityQueue{}
 	for _, t := range tasks {
 		t.attempt = 0
@@ -473,6 +521,7 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 		}
 		for s := 0; s < slots; s++ {
 			node := node
+			s := s
 			k.Go(fmt.Sprintf("%s/%s/%s-worker", j.Name, phase, node.Name), func(wp *sim.Proc) {
 				misses := 0
 				for {
@@ -495,12 +544,25 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 					}
 					misses = 0
 					t.attempt++
+					attempts.Inc()
+					var taskSpan *obs.Span
+					if j.Obs != nil {
+						taskSpan = j.Obs.StartSpan("task:"+t.label, "mapreduce", phaseSpan)
+						taskSpan.SetTrack(fmt.Sprintf("%s/slot-%d", node.Name, s))
+						taskSpan.Arg("node", node.Name)
+						taskSpan.Arg("attempt", t.attempt)
+					}
 					ts := TaskStats{Label: t.label, Node: node.Name, Start: wp.Now(), Attempt: t.attempt}
 					tc := &TaskContext{job: j, proc: wp, node: node, stats: &ts, result: res}
+					prevSpan := wp.SetSpan(taskSpan)
 					wp.Sleep(startup)
 					err := t.body(tc)
 					ts.End = wp.Now()
+					wp.SetSpan(prevSpan)
 					if err != nil {
+						failures.Inc()
+						taskSpan.Arg("failed", true)
+						taskSpan.End()
 						if t.attempt < maxAttempts {
 							q.push(t)
 							continue
@@ -509,6 +571,9 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 						wg.Done()
 						continue
 					}
+					taskSpan.End()
+					completed.Inc()
+					taskSeconds.Observe(ts.End - ts.Start)
 					*stats = append(*stats, ts)
 					wg.Done()
 				}
@@ -516,6 +581,7 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 		}
 	}
 	p.Wait(wg)
+	phaseSpan.End()
 }
 
 // combineBuckets runs the combiner over one map task's per-reducer

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"scidp/internal/obs"
 	"scidp/internal/sim"
 )
 
@@ -103,11 +104,12 @@ func (s byteRecords) ForEach(tc *TaskContext, sp *Split, fn func(key string, val
 	return fn(sp.Label, sp.Payload)
 }
 
-// BenchmarkTeraSortWall measures real wall-clock time of a full
-// TeraSort-shaped job — map emits every 100-byte record keyed by its
-// 10-byte prefix, 4 reducers merge and count — through the whole engine
-// (scheduling, partitioning, shuffle, sort-merge, reduce).
-func BenchmarkTeraSortWall(b *testing.B) {
+// benchTeraSort runs the full TeraSort-shaped job — map emits every
+// 100-byte record keyed by its 10-byte prefix, 4 reducers merge and
+// count — through the whole engine (scheduling, partitioning, shuffle,
+// sort-merge, reduce). withObs attaches a fresh metrics registry (and
+// kernel span tracer) per iteration, measuring the instrumented path.
+func benchTeraSort(b *testing.B, withObs bool) {
 	const rec = 100
 	const splitsN, recsPerSplit, reducers = 4, 2000, 4
 	rng := rand.New(rand.NewSource(11))
@@ -125,11 +127,17 @@ func BenchmarkTeraSortWall(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		k := sim.NewKernel()
+		var reg *obs.Registry
+		if withObs {
+			reg = obs.New()
+			k.SetObs(reg)
+		}
 		var total int
 		job := &Job{
 			Name:        "terasort-wall",
 			Cluster:     testCluster(k, 4, 2),
 			TaskStartup: 0.1,
+			Obs:         reg,
 			Input:       byteRecords(splits),
 			NumReducers: reducers,
 			PairBytes:   func(kv KV) int64 { return rec },
@@ -162,5 +170,16 @@ func BenchmarkTeraSortWall(b *testing.B) {
 		if res.Elapsed() <= 0 {
 			b.Fatal("no virtual time elapsed")
 		}
+		if withObs && reg.SpanCount() == 0 {
+			b.Fatal("attached run recorded no spans")
+		}
 	}
 }
+
+// BenchmarkTeraSortWall is the detached baseline: no registry attached,
+// so every instrumentation site takes the nil fast path. Must stay
+// within noise of the pre-observability engine (BENCH_obs.json).
+func BenchmarkTeraSortWall(b *testing.B) { benchTeraSort(b, false) }
+
+// BenchmarkTeraSortWallObs is the same job with metrics and spans on.
+func BenchmarkTeraSortWallObs(b *testing.B) { benchTeraSort(b, true) }

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event exporter. The output is the Trace Event Format's
+// JSON object form ({"traceEvents":[...]}), loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing:
+//
+//   - each span becomes a complete ("ph":"X") event with ts/dur in
+//     virtual-time microseconds;
+//   - each (process, track) pair becomes a (pid, tid) row, named via
+//     metadata ("ph":"M") events;
+//   - gauge sample timelines become counter ("ph":"C") tracks under a
+//     synthetic "metrics" process.
+//
+// Output is deterministic: pids/tids are assigned in sorted order, span
+// events are sorted by (start, id), and encoding/json renders map keys
+// sorted.
+
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type chromeX struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeC struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+const metricsProcess = "metrics"
+
+// WriteChromeTrace renders the registry's spans and gauge timelines as
+// Chrome trace-event JSON. Collectors run first. Safe on a nil
+// registry (writes an empty trace).
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := &chromeEncoder{w: bw}
+	enc.begin()
+
+	if r != nil {
+		r.runCollectors()
+
+		// Assign pids to sorted process names, tids to sorted tracks
+		// within each process.
+		procSet := map[string]map[string]bool{}
+		track := func(process, track string) {
+			if process == "" {
+				process = "scidp"
+			}
+			if procSet[process] == nil {
+				procSet[process] = map[string]bool{}
+			}
+			procSet[process][track] = true
+		}
+		for _, s := range r.spans {
+			track(s.process, s.track)
+		}
+		hasGaugeSamples := false
+		for _, s := range r.sortedSeries() {
+			if s.kind == kindGauge && len(s.g.Samples()) > 0 {
+				hasGaugeSamples = true
+				track(metricsProcess, "main")
+			}
+		}
+
+		procs := make([]string, 0, len(procSet))
+		for p := range procSet {
+			procs = append(procs, p)
+		}
+		sort.Strings(procs)
+		pid := map[string]int{}
+		tid := map[string]map[string]int{}
+		for i, p := range procs {
+			pid[p] = i + 1
+			tracks := make([]string, 0, len(procSet[p]))
+			for t := range procSet[p] {
+				tracks = append(tracks, t)
+			}
+			sort.Strings(tracks)
+			tid[p] = map[string]int{}
+			for j, t := range tracks {
+				tid[p][t] = j + 1
+			}
+			enc.event(chromeMeta{Name: "process_name", Ph: "M", Pid: pid[p], Args: map[string]any{"name": p}})
+			for _, t := range tracks {
+				enc.event(chromeMeta{Name: "thread_name", Ph: "M", Pid: pid[p], Tid: tid[p][t], Args: map[string]any{"name": t}})
+			}
+		}
+
+		spans := make([]*Span, len(r.spans))
+		copy(spans, r.spans)
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].start != spans[j].start {
+				return spans[i].start < spans[j].start
+			}
+			return spans[i].id < spans[j].id
+		})
+		for _, s := range spans {
+			p := s.process
+			if p == "" {
+				p = "scidp"
+			}
+			end := s.end
+			if s.open {
+				end = s.start
+			}
+			args := map[string]any{"id": s.id}
+			if s.parent != 0 {
+				args["parent"] = s.parent
+			}
+			if s.open {
+				args["open"] = true
+			}
+			for _, a := range s.args {
+				args[a.k] = a.v
+			}
+			enc.event(chromeX{
+				Name: s.name, Cat: s.cat, Ph: "X",
+				Ts: s.start * 1e6, Dur: (end - s.start) * 1e6,
+				Pid: pid[p], Tid: tid[p][s.track], Args: args,
+			})
+		}
+
+		if hasGaugeSamples {
+			mp, mt := pid[metricsProcess], tid[metricsProcess]["main"]
+			for _, s := range r.sortedSeries() {
+				if s.kind != kindGauge {
+					continue
+				}
+				key, _ := seriesKey(s.name, s.labels)
+				for _, sm := range s.g.Samples() {
+					enc.event(chromeC{
+						Name: key, Ph: "C", Ts: sm.At * 1e6,
+						Pid: mp, Tid: mt,
+						Args: map[string]any{"value": sm.V},
+					})
+				}
+			}
+		}
+	}
+
+	enc.end()
+	if enc.err != nil {
+		return enc.err
+	}
+	return bw.Flush()
+}
+
+// chromeEncoder streams the traceEvents array so a large trace never
+// needs a second in-memory copy.
+type chromeEncoder struct {
+	w     *bufio.Writer
+	first bool
+	err   error
+}
+
+func (e *chromeEncoder) begin() {
+	e.first = true
+	_, e.err = e.w.WriteString(`{"traceEvents":[`)
+}
+
+func (e *chromeEncoder) event(v any) {
+	if e.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		e.err = err
+		return
+	}
+	if !e.first {
+		e.w.WriteByte(',')
+	}
+	e.first = false
+	e.w.WriteByte('\n')
+	_, e.err = e.w.Write(b)
+}
+
+func (e *chromeEncoder) end() {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.WriteString("\n]}\n")
+}

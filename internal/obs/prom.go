@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-exposition exporter. Metric names are sanitized
+// ("pfs/ost_bytes_total" -> "pfs_ost_bytes_total"); families are sorted
+// by name, series within a family by label set; histograms emit
+// cumulative _bucket{le=...}, _sum, and _count lines. Values render via
+// strconv.FormatFloat(g, -1), so identical runs dump identical bytes.
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text format. Collectors run first. Safe on a nil registry (writes
+// nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.runCollectors()
+
+	type line struct {
+		labels string // canonical rendered label set ("" for none)
+		s      *series
+	}
+	families := map[string][]line{}
+	kinds := map[string]metricKind{}
+	for _, s := range r.sortedSeries() {
+		fam := sanitizeMetricName(s.name)
+		if prev, ok := kinds[fam]; ok && prev != s.kind {
+			return fmt.Errorf("obs: family %q has conflicting kinds %s and %s", fam, prev, s.kind)
+		}
+		kinds[fam] = s.kind
+		families[fam] = append(families[fam], line{labels: promLabels(s.labels), s: s})
+	}
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, fam := range names {
+		lines := families[fam]
+		sort.Slice(lines, func(i, j int) bool { return lines[i].labels < lines[j].labels })
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam, kinds[fam])
+		for _, ln := range lines {
+			switch ln.s.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %s\n", fam, ln.labels, fmtFloat(ln.s.c.Value()))
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", fam, ln.labels, fmtFloat(ln.s.g.Value()))
+			case kindHistogram:
+				h := ln.s.h
+				cum := uint64(0)
+				for i, b := range h.bounds {
+					cum += h.counts[i]
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", fam, promLabelsWith(ln.s.labels, "le", fmtFloat(b)), cum)
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", fam, promLabelsWith(ln.s.labels, "le", "+Inf"), h.count)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", fam, ln.labels, fmtFloat(h.sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", fam, ln.labels, h.count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus charset
+// [a-zA-Z0-9_:], replacing everything else with '_'.
+func sanitizeMetricName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			sb.WriteRune(c)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func sanitizeLabelName(name string) string {
+	s := sanitizeMetricName(name)
+	return strings.ReplaceAll(s, ":", "_")
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func promLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return promLabelsWith(labels, "", "")
+}
+
+// promLabelsWith renders labels (already canonically sorted) plus an
+// optional extra pair appended last (used for histogram "le").
+func promLabelsWith(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, sanitizeLabelName(l.Key), escapeLabelValue(l.Value))
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, extraKey, extraVal)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

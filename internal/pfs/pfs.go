@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"scidp/internal/ioengine"
+	"scidp/internal/obs"
 	"scidp/internal/sim"
 )
 
@@ -83,10 +84,16 @@ func (c Config) Scaled(factor float64) Config {
 	return c
 }
 
-// ost is one object storage target.
+// ost is one object storage target. The obs handles are nil until
+// FS.SetObs and therefore free to touch (nil-check fast path).
 type ost struct {
 	disk *sim.Resource
 	oss  *ossNode
+
+	readBytes  *obs.Counter
+	writeBytes *obs.Counter
+	requests   *obs.Counter
+	queueDepth *obs.Gauge
 }
 
 // ossNode is one object storage server.
@@ -118,6 +125,26 @@ type FS struct {
 	osts   []*ost
 	files  map[string]*File
 	next   int // round-robin OST allocation cursor
+
+	obs    *obs.Registry
+	mdsOps *obs.Counter
+}
+
+// SetObs attaches an observability registry: per-OST byte/request
+// counters and queue-depth gauges (labeled ost="ost-N", matching the
+// sim resource "pfs/ost-N"), an MDS op counter, and read/write spans on
+// every simulated access. Detached (the default), instrumentation costs
+// one nil check per site.
+func (fs *FS) SetObs(r *obs.Registry) {
+	fs.obs = r
+	fs.mdsOps = r.Counter("pfs/mds_ops_total")
+	for i, o := range fs.osts {
+		l := obs.L("ost", fmt.Sprintf("ost-%d", i))
+		o.readBytes = r.Counter("pfs/ost_read_bytes_total", l)
+		o.writeBytes = r.Counter("pfs/ost_write_bytes_total", l)
+		o.requests = r.Counter("pfs/ost_requests_total", l)
+		o.queueDepth = r.Gauge("pfs/ost_queue_depth", l)
+	}
 }
 
 // New builds a PFS on the kernel from the given config.
@@ -210,8 +237,9 @@ func (fs *FS) ostFor(f *File, stripeIdx int64) *ost {
 }
 
 // segments decomposes the byte range [off, off+n) of f into per-OST byte
-// totals, in OST order for determinism.
-func (fs *FS) segments(f *File, off, n int64) []sim.Part {
+// totals, in OST order for determinism. The returned targets parallel
+// the parts, so callers can attribute each leg to its OST.
+func (fs *FS) segments(f *File, off, n int64) ([]sim.Part, []*ost) {
 	perOST := map[*ost]float64{}
 	var order []*ost
 	end := off + n
@@ -232,7 +260,47 @@ func (fs *FS) segments(f *File, off, n int64) []sim.Part {
 	for _, o := range order {
 		parts = append(parts, sim.Part{Bytes: perOST[o], Res: []*sim.Resource{o.disk, o.oss.nic, fs.fabric}})
 	}
-	return parts
+	return parts, order
+}
+
+// transferStriped runs the striped parallel transfer for parts while
+// charging the per-OST observability counters around it.
+func (fs *FS) transferStriped(p *sim.Proc, parts []sim.Part, osts []*ost, write bool) {
+	if fs.obs != nil {
+		for i, o := range osts {
+			o.requests.Inc()
+			if write {
+				o.writeBytes.Add(parts[i].Bytes)
+			} else {
+				o.readBytes.Add(parts[i].Bytes)
+			}
+			o.queueDepth.Add(1)
+		}
+	}
+	p.TransferAll(parts...)
+	if fs.obs != nil {
+		for _, o := range osts {
+			o.queueDepth.Add(-1)
+		}
+	}
+}
+
+// accessSpan opens a span for one simulated file access under the
+// process's current span and installs it as current, so the stripe
+// flows nest beneath it. It returns a restore func (never nil).
+func (fs *FS) accessSpan(p *sim.Proc, name, path string, off, n int64) func() {
+	if fs.obs == nil {
+		return func() {}
+	}
+	sp := fs.obs.StartSpan(name, "pfs", p.Span())
+	sp.Arg("path", path)
+	sp.Arg("off", off)
+	sp.Arg("bytes", n)
+	prev := p.SetSpan(sp)
+	return func() {
+		p.SetSpan(prev)
+		sp.End()
+	}
 }
 
 // ---- Simulated client API.
@@ -255,6 +323,7 @@ func (c *Client) FS() *FS { return c.fs }
 
 // metaOp charges one metadata round trip on the MDS.
 func (c *Client) metaOp(p *sim.Proc) {
+	c.fs.mdsOps.Inc()
 	p.Transfer(1, c.fs.mds)
 }
 
@@ -313,11 +382,13 @@ func (c *Client) ReadAt(p *sim.Proc, path string, off, n int64) ([]byte, error) 
 	if off+n > f.Size() {
 		n = f.Size() - off
 	}
-	parts := c.fs.segments(f, off, n)
+	done := c.fs.accessSpan(p, "pfs.ReadAt", path, off, n)
+	parts, osts := c.fs.segments(f, off, n)
 	for i := range parts {
 		parts[i].Res = append(parts[i].Res, c.path...)
 	}
-	p.TransferAll(parts...)
+	c.fs.transferStriped(p, parts, osts, false)
+	done()
 	out := make([]byte, n)
 	copy(out, f.data[off:off+n])
 	return out, nil
@@ -337,11 +408,13 @@ func (c *Client) WriteAt(p *sim.Proc, path string, data []byte, off int64) error
 	if end > f.Size() {
 		f.data = append(f.data, make([]byte, end-f.Size())...)
 	}
-	parts := c.fs.segments(f, off, int64(len(data)))
+	done := c.fs.accessSpan(p, "pfs.WriteAt", path, off, int64(len(data)))
+	parts, osts := c.fs.segments(f, off, int64(len(data)))
 	for i := range parts {
 		parts[i].Res = append(parts[i].Res, c.path...)
 	}
-	p.TransferAll(parts...)
+	c.fs.transferStriped(p, parts, osts, true)
+	done()
 	copy(f.data[off:end], data)
 	return nil
 }

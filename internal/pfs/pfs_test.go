@@ -246,7 +246,11 @@ func TestSegmentsCoverRange(t *testing.T) {
 		file := &File{Path: "/q", StripeSize: stripeSize, StripeCount: stripeCount}
 		file.data = make([]byte, off+n)
 		var total float64
-		for _, part := range fs.segments(file, off, n) {
+		parts, osts := fs.segments(file, off, n)
+		if len(parts) != len(osts) {
+			return false
+		}
+		for _, part := range parts {
 			total += part.Bytes
 		}
 		return total == float64(n)

@@ -20,6 +20,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
+
+	"scidp/internal/obs"
 )
 
 // epsBytes is the slack under which a flow's remaining bytes count as zero.
@@ -60,7 +63,20 @@ type Kernel struct {
 	failure    error  // first process panic, re-raised by Run
 	liveProcs  int
 	tracer     *Tracer
+	obs        *obs.Registry
 }
+
+// SetObs attaches (or detaches, with nil) an observability registry.
+// The kernel becomes the registry's clock, and every flow started under
+// a process span from then on records a child "flow" span.
+func (k *Kernel) SetObs(r *obs.Registry) {
+	k.obs = r
+	r.SetClock(k)
+}
+
+// Obs returns the attached registry (nil when detached). The nil value
+// is safe to use: all obs handles no-op.
+func (k *Kernel) Obs() *obs.Registry { return k.obs }
 
 // NewKernel returns an empty kernel at virtual time zero.
 func NewKernel() *Kernel {
@@ -114,6 +130,23 @@ type Proc struct {
 	name string
 	wake chan struct{}
 	park chan struct{}
+	span *obs.Span
+}
+
+// Span returns the process's current observability span (nil when none
+// is set or no registry is attached). Flows started by the process
+// become children of this span.
+func (p *Proc) Span() *obs.Span { return p.span }
+
+// SetSpan installs s as the process's current span and returns the
+// previous one, so callers can nest:
+//
+//	prev := p.SetSpan(s)
+//	defer p.SetSpan(prev)
+func (p *Proc) SetSpan(s *obs.Span) *obs.Span {
+	prev := p.span
+	p.span = s
+	return prev
 }
 
 // Name returns the name the process was started with.
@@ -210,7 +243,11 @@ type Flow struct {
 	rate      float64
 	res       []*Resource
 	onDone    func()
+	span      *obs.Span
 }
+
+// ID returns the kernel-unique flow id, matching TraceEvent.Flow.
+func (f *Flow) ID() uint64 { return f.id }
 
 // Remaining reports the bytes the flow still has to move (settled to the
 // last recompute instant; callers outside the kernel should treat it as
@@ -292,6 +329,7 @@ func (k *Kernel) completeFlows() {
 			r.active--
 		}
 		k.traceFlowEnd(f)
+		f.span.End()
 	}
 	k.recomputeFlows()
 	for _, f := range done {
@@ -306,11 +344,27 @@ func (k *Kernel) completeFlows() {
 // negative sizes complete immediately (still asynchronously). StartFlow
 // does not charge resource Latency; Proc.Transfer does.
 func (k *Kernel) StartFlow(bytes float64, onDone func(), res ...*Resource) *Flow {
+	return k.startFlow(bytes, onDone, nil, res...)
+}
+
+// startFlow is StartFlow plus span parentage: when a registry is
+// attached and the starting process has a current span, the flow
+// records a child "flow" span carrying its id, size, and resource
+// chain.
+func (k *Kernel) startFlow(bytes float64, onDone func(), parent *obs.Span, res ...*Resource) *Flow {
 	k.flowSeq++
 	f := &Flow{id: k.flowSeq, total: bytes, remaining: bytes, res: res, onDone: onDone}
+	if k.obs != nil && parent != nil {
+		f.span = k.obs.StartSpan("flow", "sim", parent)
+		f.span.Arg("flow", f.id)
+		f.span.Arg("bytes", bytes)
+		f.span.Arg("res", strings.Join(resourceNames(res), "+"))
+	}
 	k.traceFlowStart(f, "")
 	if bytes <= epsBytes {
 		k.schedule(k.now, func() {
+			k.traceFlowEnd(f)
+			f.span.End()
 			if f.onDone != nil {
 				f.onDone()
 			}
@@ -337,7 +391,7 @@ func (p *Proc) Transfer(bytes float64, res ...*Resource) {
 	if lat > 0 {
 		p.Sleep(lat)
 	}
-	p.k.StartFlow(bytes, func() { p.k.resume(p) }, res...)
+	p.k.startFlow(bytes, func() { p.k.resume(p) }, p.span, res...)
 	p.pause()
 }
 
@@ -364,13 +418,14 @@ func (p *Proc) TransferAll(parts ...Part) {
 			p.k.resume(p)
 		}
 	}
+	parent := p.span
 	for _, pt := range parts {
 		pt := pt
 		lat := 0.0
 		for _, r := range pt.Res {
 			lat += r.Latency
 		}
-		start := func() { p.k.StartFlow(pt.Bytes, finish, pt.Res...) }
+		start := func() { p.k.startFlow(pt.Bytes, finish, parent, pt.Res...) }
 		if lat > 0 {
 			p.k.After(lat, start)
 		} else {

@@ -490,7 +490,7 @@ func TestTracerRecordsFlows(t *testing.T) {
 		t.Fatal("trace render empty")
 	}
 	starts, ends := 0, 0
-	for _, ev := range tr.Events {
+	for _, ev := range tr.Events() {
 		switch ev.Kind {
 		case "flow-start":
 			starts++
@@ -514,8 +514,8 @@ func TestTracerBounded(t *testing.T) {
 		}
 	})
 	k.Run()
-	if len(tr.Events) != 3 {
-		t.Fatalf("events = %d, want bounded to 3", len(tr.Events))
+	if tr.Len() != 3 {
+		t.Fatalf("events = %d, want bounded to 3", tr.Len())
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"scidp/internal/cluster"
 	"scidp/internal/hdfs"
+	"scidp/internal/obs"
 	"scidp/internal/pfs"
 	"scidp/internal/scifmt"
 	"scidp/internal/sim"
@@ -93,6 +94,12 @@ type EnvConfig struct {
 	PlotRes int
 	// Cost is the CPU cost model at paper scale.
 	Cost CostModel
+	// Obs, when non-nil, attaches the observability registry to the
+	// testbed: the kernel's clock and span tracer, the PFS and HDFS
+	// metric producers, and an unbounded flow tracer for resource
+	// timelines. Runs stay metric-free (and pay no overhead beyond a nil
+	// check) when it is nil.
+	Obs *obs.Registry
 }
 
 // DefaultEnvConfig mirrors the paper's 8-node testbed at the given scale
@@ -124,6 +131,12 @@ type Env struct {
 	Registry *scifmt.Registry
 	// Cfg is the building configuration.
 	Cfg EnvConfig
+	// Obs is the attached observability registry (nil when detached).
+	Obs *obs.Registry
+	// Tracer is the kernel flow tracer, attached only when Obs is —
+	// feed it to Tracer.ExportResourceMetrics after K.Run for the
+	// per-resource utilization series.
+	Tracer *sim.Tracer
 }
 
 // NewEnv builds the testbed: an 8-node (by default) Hadoop cluster with
@@ -159,7 +172,7 @@ func NewEnv(cfg EnvConfig) *Env {
 	}
 	hfs := hdfs.New(k, bd, hcfg)
 	il := cluster.NewInterlink(2*1.25e9/cfg.ByteScale, 0.0002)
-	return &Env{
+	env := &Env{
 		K:        k,
 		BD:       bd,
 		PFS:      pfsFS,
@@ -167,6 +180,24 @@ func NewEnv(cfg EnvConfig) *Env {
 		IL:       il,
 		Registry: scifmt.Default(),
 		Cfg:      cfg,
+	}
+	if cfg.Obs != nil {
+		env.Obs = cfg.Obs
+		k.SetObs(cfg.Obs)
+		pfsFS.SetObs(cfg.Obs)
+		hfs.SetObs(cfg.Obs)
+		env.Tracer = &sim.Tracer{}
+		k.SetTracer(env.Tracer)
+	}
+	return env
+}
+
+// ExportSimMetrics derives the per-resource utilization series from the
+// flow tracer into the attached registry. Call it after K.Run; no-op
+// when the env was built without observability.
+func (e *Env) ExportSimMetrics() {
+	if e.Tracer != nil {
+		e.Tracer.ExportResourceMetrics(e.Obs)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"scidp/internal/ioengine"
 	"scidp/internal/mapreduce"
 	"scidp/internal/netcdf"
+	"scidp/internal/obs"
 	"scidp/internal/sim"
 	"scidp/internal/workloads"
 )
@@ -121,6 +122,7 @@ func distcp(p *sim.Proc, env *Env, files []string, dstDir string) ([]string, int
 		Name:         "distcp",
 		Cluster:      env.BD,
 		SlotsPerNode: env.Cfg.SlotsPerNode,
+		Obs:          env.Obs,
 		TaskStartup:  env.Cfg.Cost.TaskStartup,
 		Input:        staticInput(splits),
 		Map: func(tc *mapreduce.TaskContext, key string, value any) error {
@@ -305,6 +307,7 @@ func RunPortHadoop(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
 	}
 	input := &core.InputFormat{
 		HDFS: env.HDFS, Dir: mapping.Root, Registry: env.Registry, MountFor: env.Mount,
+		Obs: env.Obs,
 	}
 	res, stats, err := runProcessing(p, env, wl, "porthadoop", input,
 		func(tc *mapreduce.TaskContext, key string, value any) (*grid, error) {
@@ -394,6 +397,9 @@ func RunSciDPWith(p *sim.Proc, env *Env, wl *Workload, opts SciDPOptions) (*Repo
 	if name == "" {
 		name = "scidp"
 	}
+	if opts.Caches != nil {
+		opts.Caches.RegisterObs(env.Obs, obs.L("set", name))
+	}
 	rep := &Report{Solution: name}
 	start := p.Now()
 	rows := opts.RowsPerBlock
@@ -416,6 +422,7 @@ func RunSciDPWith(p *sim.Proc, env *Env, wl *Workload, opts SciDPOptions) (*Repo
 		},
 		Engine: opts.Engine,
 		Caches: opts.Caches,
+		Obs:    env.Obs,
 	}
 	res, stats, err := runProcessing(p, env, wl, name, input,
 		func(tc *mapreduce.TaskContext, key string, value any) (*grid, error) {
@@ -462,6 +469,7 @@ func RunSciDPStaged(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
 	input := &core.InputFormat{
 		HDFS: env.HDFS, Dir: mapping.Root, Registry: env.Registry, MountFor: env.Mount,
 		Cost: core.CostModel{DecompressPerRawMB: env.Cfg.Cost.DecompressPerMB * env.Cfg.ByteScale},
+		Obs:  env.Obs,
 	}
 	type stagedSlab struct {
 		label string
@@ -470,7 +478,7 @@ func RunSciDPStaged(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
 	var staged []stagedSlab
 	readJob := &mapreduce.Job{
 		Name: "scidp-staged-read", Cluster: env.BD, SlotsPerNode: env.Cfg.SlotsPerNode,
-		TaskStartup: env.Cfg.Cost.TaskStartup, Input: input,
+		Obs: env.Obs, TaskStartup: env.Cfg.Cost.TaskStartup, Input: input,
 		Map: func(tc *mapreduce.TaskContext, key string, value any) error {
 			staged = append(staged, stagedSlab{label: key, slab: value.(*core.Slab)})
 			return nil

@@ -231,6 +231,7 @@ func runProcessing(p *sim.Proc, env *Env, wl *Workload, name string, input mapre
 		Name:         name,
 		Cluster:      env.BD,
 		SlotsPerNode: env.Cfg.SlotsPerNode,
+		Obs:          env.Obs,
 		Input:        input,
 		TaskStartup:  env.Cfg.Cost.TaskStartup,
 		NumReducers:  env.Cfg.Nodes,

@@ -9,6 +9,7 @@ package workloads
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"scidp/internal/netcdf"
 	"scidp/internal/pfs"
@@ -177,10 +178,17 @@ func Generate(fs *pfs.FS, spec NUWRFSpec) (*Dataset, error) {
 	return ds, nil
 }
 
-// Install puts pre-generated blobs onto a PFS.
+// Install puts pre-generated blobs onto a PFS, in sorted path order so
+// the round-robin stripe placement (and every timing derived from it)
+// is identical across runs.
 func Install(fs *pfs.FS, blobs map[string][]byte) {
-	for path, blob := range blobs {
-		fs.Put(path, blob)
+	paths := make([]string, 0, len(blobs))
+	for path := range blobs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		fs.Put(path, blobs[path])
 	}
 }
 
