@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-paper obs-smoke
+.PHONY: check fmt vet build test race bench bench-paper obs-smoke chaos-smoke
 
 # check is the CI gate: formatting, vet, build, full tests, the race
 # detector on the packages with real goroutine concurrency, and the
-# observability export smoke test.
-check: fmt vet build test race obs-smoke
+# observability and chaos smoke tests.
+check: fmt vet build test race obs-smoke chaos-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -21,7 +21,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim ./internal/ioengine ./internal/core ./internal/mapreduce
+	$(GO) test -race ./internal/sim ./internal/ioengine ./internal/core ./internal/mapreduce ./internal/chaos
 
 # bench is the benchmark smoke test: every Benchmark* runs once with
 # allocation stats; a failing benchmark (b.Fatal/b.Error) fails the target.
@@ -40,3 +40,12 @@ obs-smoke:
 	$(GO) run ./cmd/scidp-bench -exp fig5 -quick \
 		-trace "$$tmp/trace.json" -metrics "$$tmp/metrics.prom" > /dev/null; \
 	$(GO) run ./cmd/checktrace "$$tmp/trace.json" "$$tmp/metrics.prom"
+
+# chaos-smoke runs the quick fault-injection sweep and asserts every run
+# completed with output byte-identical to the fault-free baseline, the
+# same-seed repeats reproduced the export digests, and the faulted run
+# shows nonzero recovery counters (failovers, retries, speculative wins).
+chaos-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/scidp-bench -exp faults -quick -json "$$tmp/faults.json" > /dev/null; \
+	$(GO) run ./cmd/checkchaos "$$tmp/faults.json"

@@ -1,0 +1,69 @@
+// Command checkchaos validates the faults experiment's result JSON —
+// the CI smoke gate behind `make chaos-smoke`.
+//
+// Usage:
+//
+//	checkchaos faults.json
+//
+// The file must be the machine-readable output of
+// `scidp-bench -exp faults -json faults.json`: a baseline plus at least
+// one faulted sweep point. Every run must have completed (positive JCT
+// and output volume), produced output byte-identical to the fault-free
+// baseline, and reproduced both its output and observability-export
+// digests on the same-seed repeat; at least one faulted run must show
+// actual recovery work — replica failovers, read retries, speculative
+// wins, and injected faults all nonzero. Exit status 0 on success.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"scidp/internal/bench"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fail(fmt.Errorf("usage: checkchaos faults.json"))
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail(err)
+	}
+	var res bench.FaultsResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		fail(fmt.Errorf("%s: not valid JSON: %w", os.Args[1], err))
+	}
+
+	if len(res.Runs) < 2 {
+		fail(fmt.Errorf("want a baseline plus at least one faulted run, got %d run(s)", len(res.Runs)))
+	}
+	recovered := false
+	for _, r := range res.Runs {
+		if r.JCTSeconds <= 0 || r.ResultBytes <= 0 {
+			fail(fmt.Errorf("rate %g: job did not complete (jct=%g, bytes=%d)", r.Rate, r.JCTSeconds, r.ResultBytes))
+		}
+		if !r.OutputMatchesBaseline {
+			fail(fmt.Errorf("rate %g: output differs from the fault-free baseline", r.Rate))
+		}
+		if !r.Deterministic {
+			fail(fmt.Errorf("rate %g: same-seed repeat did not reproduce the digests", r.Rate))
+		}
+		if r.Rate > 0 && r.Failovers > 0 && r.ReadRetries > 0 && r.SpecWins > 0 && r.FaultsInjected > 0 {
+			recovered = true
+		}
+	}
+	if !recovered {
+		fail(fmt.Errorf("no faulted run shows nonzero failovers, read retries, speculative wins, and injected faults"))
+	}
+
+	last := res.Runs[len(res.Runs)-1]
+	fmt.Printf("ok: %d runs, baseline JCT %.1fs, rate %g recovered (failovers=%.0f retries=%.0f spec-wins=%.0f faults=%.0f), outputs byte-identical and deterministic\n",
+		len(res.Runs), res.BaselineJCT, last.Rate, last.Failovers, last.ReadRetries, last.SpecWins, last.FaultsInjected)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "checkchaos: %v\n", err)
+	os.Exit(1)
+}

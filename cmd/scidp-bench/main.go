@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|ablations|ioengine] [-quick]
-//	            [-trace out.json] [-metrics out.prom]
+//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|faults|ablations|ioengine]
+//	            [-quick] [-trace out.json] [-metrics out.prom] [-json out.json]
 //
 // -quick runs a reduced geometry and smaller sweeps (seconds instead of
 // minutes). Output is one aligned text table per experiment, with paper
@@ -12,10 +12,13 @@
 // every simulated run (open in Perfetto / chrome://tracing); -metrics
 // writes a Prometheus-style text dump of the component metrics. Either
 // flag attaches the observability registry; without them runs are
-// instrumentation-free.
+// instrumentation-free. -json writes the faults experiment's
+// machine-readable result (goodput/JCT sweep, digests, recovery
+// counters) — the BENCH_faults.json artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,11 +30,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, workflow, ablations, ioengine)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, workflow, ablations, ioengine)")
 	quick := flag.Bool("quick", false, "reduced geometry and sweep sizes")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the simulated runs to this file")
 	metricsPath := flag.String("metrics", "", "write a Prometheus-style metrics dump to this file")
+	jsonPath := flag.String("json", "", "write the faults experiment's machine-readable result JSON to this file")
 	flag.Parse()
 
 	if *tracePath != "" || *metricsPath != "" {
@@ -49,6 +53,8 @@ func main() {
 	fig9Sizes := []int{96, 192, 384, 768}
 	ablSize := 96
 	wfSize, wfCompute := 192, 120.0
+	faultsSize := 24
+	faultsRates := []float64{0.05, 0.1, 0.2}
 	if *quick {
 		scale = bench.QuickScale()
 		fig5Sizes = []int{8, 16}
@@ -59,6 +65,8 @@ func main() {
 		fig9Sizes = []int{8, 16}
 		ablSize = 8
 		wfSize, wfCompute = 8, 30.0
+		faultsSize = 16
+		faultsRates = []float64{0.1}
 	}
 
 	emit := func(t *bench.Table, err error) {
@@ -118,6 +126,17 @@ func main() {
 		emit(bench.Fig9(scale, fig9Sizes))
 		ran = true
 	}
+	if want("faults") {
+		t, fr, err := bench.RunFaults(scale, faultsSize, faultsRates, bench.FaultsSeed)
+		if err != nil {
+			emit(nil, err)
+		}
+		emit(t, nil)
+		if *jsonPath != "" {
+			writeFaultsJSON(*jsonPath, fr)
+		}
+		ran = true
+	}
 	if want("workflow") {
 		emit(bench.Workflow(scale, wfSize, wfCompute))
 		ran = true
@@ -134,7 +153,7 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, workflow, ablations, ioengine)\n", *exp)
+		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, workflow, ablations, ioengine)\n", *exp)
 		os.Exit(2)
 	}
 
@@ -143,6 +162,18 @@ func main() {
 	}
 	if *metricsPath != "" {
 		writeExport(*metricsPath, bench.Obs.WritePrometheus)
+	}
+}
+
+// writeFaultsJSON records the faults sweep's machine-readable result.
+func writeFaultsJSON(path string, fr *bench.FaultsResult) {
+	data, err := json.MarshalIndent(fr, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scidp-bench: %s: %v\n", path, err)
+		os.Exit(1)
 	}
 }
 

@@ -7,11 +7,19 @@
 // Usage:
 //
 //	scidpctl [-timestamps n] [-vars QR,VAR01] [-rows n] [-blocksize n] [-local dir] [-v]
+//	scidpctl -chaos plan.json [-timestamps n] [-v]
 //
 // With -local, files are read from a local directory (produced by ncgen)
 // instead of being generated. -v attaches the observability registry and
 // appends a per-phase timing table plus the component metrics the run
 // produced (MDS/NameNode op counts, per-OST traffic, ...).
+//
+// With -chaos, scidpctl instead runs the full SciDP processing pipeline
+// on a recovery-enabled testbed (replication, task retry, speculation,
+// PFS read retry) under the fault plan in the given JSON file, and
+// reports the job outcome together with the injected-fault and recovery
+// counters. The plan format is internal/chaos's Plan: a PRNG seed plus
+// rules ({"kind": "dn-crash", "at": 30, "target": 1}, ...).
 package main
 
 import (
@@ -21,6 +29,8 @@ import (
 	"path/filepath"
 	"strings"
 
+	"scidp/internal/bench"
+	"scidp/internal/chaos"
 	"scidp/internal/core"
 	"scidp/internal/hdfs"
 	"scidp/internal/obs"
@@ -35,8 +45,14 @@ func main() {
 	rows := flag.Int("rows", 0, "rows per dummy block (0 = chunk-aligned)")
 	blocksize := flag.Int64("blocksize", 0, "dummy-block size for flat files in bytes (0 = HDFS block size)")
 	local := flag.String("local", "", "load files from this directory instead of generating")
+	chaosPath := flag.String("chaos", "", "run the SciDP pipeline under this fault plan (JSON) instead of printing the mapping")
 	verbose := flag.Bool("v", false, "print per-phase timings and component metrics after the mapping")
 	flag.Parse()
+
+	if *chaosPath != "" {
+		runChaos(*chaosPath, *timestamps, *verbose)
+		return
+	}
 
 	cfg := solutions.DefaultEnvConfig(1, 1)
 	if *verbose {
@@ -120,6 +136,87 @@ func main() {
 		}
 		fmt.Printf("\n== component metrics ==\n")
 		if err := cfg.Obs.WritePrometheus(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// runChaos executes the SciDP processing pipeline under a fault plan on
+// the recovery-enabled faults testbed and prints the outcome plus the
+// chaos/recovery counters.
+func runChaos(path string, timestamps int, verbose bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	plan, err := chaos.ParsePlan(data)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	if timestamps < 1 {
+		timestamps = 1
+	}
+	s := bench.QuickScale()
+	cfg := bench.FaultsEnvConfig(s)
+	reg := obs.New()
+	reg.SetProcess("scidpctl-chaos")
+	cfg.Obs = reg
+	cfg.Chaos = plan
+	env := solutions.NewEnv(cfg)
+	ds, err := workloads.Generate(env.PFS, s.Spec(timestamps))
+	if err != nil {
+		fail(err)
+	}
+	wl := &solutions.Workload{Dataset: ds, Var: "QR"}
+	var rep *solutions.Report
+	var runErr error
+	env.K.Go("driver", func(p *sim.Proc) {
+		rep, runErr = solutions.RunSciDP(p, env, wl)
+	})
+	env.K.Run()
+	env.ExportSimMetrics()
+	fmt.Printf("plan %s: seed %d, %d rule(s); %d timestamps on 4 nodes x 2 slots\n",
+		path, plan.Seed, len(plan.Rules), timestamps)
+	if runErr != nil {
+		fail(fmt.Errorf("job failed under the plan: %w", runErr))
+	}
+	fmt.Println(rep.Summary())
+
+	fmt.Printf("\n== chaos & recovery counters ==\n")
+	sum := func(name, key string, vals ...string) float64 {
+		if len(vals) == 0 {
+			return reg.Counter(name).Value()
+		}
+		var s float64
+		for _, v := range vals {
+			s += reg.Counter(name, obs.L(key, v)).Value()
+		}
+		return s
+	}
+	kinds := []string{
+		chaos.KindOSTDegrade, chaos.KindOSTOutage, chaos.KindDNCrash,
+		chaos.KindMDSLatency, chaos.KindNNLatency,
+		chaos.KindFlakyReads, chaos.KindStraggler, chaos.KindTaskFail,
+	}
+	rows := []struct {
+		label string
+		value float64
+	}{
+		{"faults injected", sum("chaos/faults_injected_total", "kind", kinds...)},
+		{"replica failovers", sum("hdfs/replica_failovers_total", "")},
+		{"PFS read retries", sum("core/read_retries_total", "kind", "flaky-read", "corrupt", "ost-down", "no-live-replica")},
+		{"PFS read-arounds", sum("core/read_around_total", "")},
+		{"task failures", sum("mr/task_failures_total", "phase", "map", "reduce")},
+		{"speculative launched", sum("mr/speculative_launched_total", "phase", "map")},
+		{"speculative wins", sum("mr/speculative_wins_total", "phase", "map")},
+		{"speculative losses", sum("mr/speculative_losses_total", "phase", "map")},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-22s %8.0f\n", r.label, r.value)
+	}
+	if verbose {
+		fmt.Printf("\n== component metrics ==\n")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
 			fail(err)
 		}
 	}

@@ -6,12 +6,14 @@ import (
 	"testing"
 
 	"scidp/internal/cluster"
+	"scidp/internal/fault"
 	"scidp/internal/grads"
 	"scidp/internal/hdf5lite"
 	"scidp/internal/hdfs"
 	"scidp/internal/ioengine"
 	"scidp/internal/mapreduce"
 	"scidp/internal/netcdf"
+	"scidp/internal/obs"
 	"scidp/internal/pfs"
 	"scidp/internal/scifmt"
 	"scidp/internal/sim"
@@ -556,6 +558,105 @@ func TestPFSReaderSharedCache(t *testing.T) {
 		st := cache.Stats()
 		if st.Hits != 4 || st.Misses != 4 {
 			t.Fatalf("cache stats = %+v, want 4 hits / 4 misses (one per chunk)", st)
+		}
+	})
+}
+
+func TestPFSReaderRetriesTransientReadFaults(t *testing.T) {
+	r := newRig(t)
+	flat := []byte("0123456789")
+	r.pfs.Put("/in/notes.txt", flat)
+	reg := obs.New()
+	fails := 0
+	r.pfs.SetReadFault(func(path string, off, n int64) fault.Outcome {
+		if fails < 2 {
+			fails++
+			return fault.Fail
+		}
+		return fault.OK
+	})
+	r.run(t, func(p *sim.Proc) {
+		reader := NewPFSReader(nil, r.mount(r.bd.Node(0)))
+		reader.Obs = reg
+		reader.Retry = RetryPolicy{MaxRetries: 3, Backoff: 0.01}
+		got, err := reader.ReadFlat(p, &FlatSource{PFSPath: "/in/notes.txt", Length: int64(len(flat))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, flat) {
+			t.Fatalf("retried read = %q", got)
+		}
+	})
+	if v := reg.Counter("core/read_retries_total", obs.L("kind", "flaky-read")).Value(); v != 2 {
+		t.Fatalf("read retries = %v, want 2", v)
+	}
+}
+
+func TestPFSReaderFailsFastWithoutRetryPolicy(t *testing.T) {
+	r := newRig(t)
+	r.pfs.Put("/in/notes.txt", []byte("0123456789"))
+	r.pfs.SetReadFault(func(path string, off, n int64) fault.Outcome { return fault.Fail })
+	r.run(t, func(p *sim.Proc) {
+		reader := NewPFSReader(nil, r.mount(r.bd.Node(0)))
+		_, err := reader.ReadFlat(p, &FlatSource{PFSPath: "/in/notes.txt", Length: 10})
+		if err == nil {
+			t.Fatal("zero-value policy must fail fast")
+		}
+		if !fault.IsTransient(err) {
+			t.Fatalf("want transient error, got %v", err)
+		}
+	})
+}
+
+func TestPFSReaderReadsAroundOSTOutage(t *testing.T) {
+	// Every OST goes down before the read and comes back mid-backoff: the
+	// first attempt returns all ranges missing (zero-filled), and the
+	// read-around pass re-requests only the missing ranges after the
+	// outage ends.
+	r := newRig(t)
+	flat := []byte("0123456789abcdef0123456789abcdef")
+	r.pfs.Put("/in/notes.txt", flat)
+	reg := obs.New()
+	for i := 0; i < r.pfs.OSTCount(); i++ {
+		r.pfs.SetOSTDown(i, true)
+	}
+	r.k.After(0.05, func() {
+		for i := 0; i < r.pfs.OSTCount(); i++ {
+			r.pfs.SetOSTDown(i, false)
+		}
+	})
+	r.run(t, func(p *sim.Proc) {
+		reader := NewPFSReader(nil, r.mount(r.bd.Node(0)))
+		reader.Obs = reg
+		reader.Retry = RetryPolicy{MaxRetries: 5, Backoff: 0.02}
+		got, err := reader.ReadFlat(p, &FlatSource{PFSPath: "/in/notes.txt", Length: int64(len(flat))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, flat) {
+			t.Fatalf("read-around returned wrong bytes: %q", got)
+		}
+	})
+	if v := reg.Counter("core/read_around_total").Value(); v == 0 {
+		t.Fatal("expected nonzero read-arounds")
+	}
+}
+
+func TestPFSReaderExhaustsRetriesOnPermanentOutage(t *testing.T) {
+	r := newRig(t)
+	r.pfs.Put("/in/notes.txt", []byte("0123456789"))
+	for i := 0; i < r.pfs.OSTCount(); i++ {
+		r.pfs.SetOSTDown(i, true)
+	}
+	r.run(t, func(p *sim.Proc) {
+		reader := NewPFSReader(nil, r.mount(r.bd.Node(0)))
+		reader.Retry = RetryPolicy{MaxRetries: 2, Backoff: 0.01}
+		_, err := reader.ReadFlat(p, &FlatSource{PFSPath: "/in/notes.txt", Length: 10})
+		if err == nil {
+			t.Fatal("permanent outage must surface after retries")
+		}
+		if !fault.IsTransient(err) || fault.KindOf(err) != "ost-down" {
+			t.Fatalf("want transient ost-down, got %v", err)
 		}
 	})
 }

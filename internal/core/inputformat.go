@@ -56,6 +56,9 @@ type InputFormat struct {
 	// Obs, when non-nil, is handed to each task's PFS Reader so block
 	// reads produce spans and I/O-engine counters.
 	Obs *obs.Registry
+	// Retry is each task's PFS Reader recovery policy (zero = fail fast;
+	// a transient fault then surfaces to MapReduce task re-execution).
+	Retry RetryPolicy
 }
 
 // EngineOptions configures the per-task I/O engine of an InputFormat.
@@ -111,6 +114,7 @@ func (in *InputFormat) ForEach(tc *mapreduce.TaskContext, s *mapreduce.Split, fn
 	}
 	reader.Prefetch = in.Engine.Prefetch
 	reader.Obs = in.Obs
+	reader.Retry = in.Retry
 	block := s.Payload.(*hdfs.Block)
 	var value any
 	var err error

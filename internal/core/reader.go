@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"scidp/internal/fault"
 	"scidp/internal/hdfs"
 	"scidp/internal/ioengine"
 	"scidp/internal/obs"
@@ -10,6 +11,20 @@ import (
 	"scidp/internal/scifmt"
 	"scidp/internal/sim"
 )
+
+// RetryPolicy bounds the PFS Reader's recovery loop for transient read
+// faults (flaky reads, corruption, OST outage windows). The zero value
+// disables retries — the first transient failure surfaces to the task,
+// where MapReduce-level re-execution takes over.
+type RetryPolicy struct {
+	// MaxRetries is how many extra attempts follow the first failure.
+	MaxRetries int
+	// Backoff is the virtual-seconds sleep before retry i (0-based),
+	// doubled each attempt: Backoff, 2*Backoff, 4*Backoff, ...
+	// The sleeps advance virtual time, so a retry loop naturally rides
+	// out a chaos outage window instead of spinning inside it.
+	Backoff float64
+}
 
 // PFSReader resolves dummy blocks against the parallel file system from
 // inside a task — the paper's PFS Reader. Each task constructs (or is
@@ -29,7 +44,79 @@ type PFSReader struct {
 	// Obs, when non-nil, wraps each block read in a span and feeds the
 	// I/O-engine counters.
 	Obs *obs.Registry
+	// Retry governs recovery from transient PFS faults: full-request
+	// retry-with-backoff for flaky/corrupt reads, and read-around (re-
+	// requesting only the byte ranges on offline OSTs) for degraded
+	// stripes. Zero value = fail fast.
+	Retry RetryPolicy
 }
+
+// readRange is every PFS byte range's path through the reader: one
+// ReadAtParts, then — while transient faults or offline ranges remain and
+// the retry budget lasts — exponential-backoff retries. A flaky or
+// corrupt read re-requests the whole range; a degraded stripe re-requests
+// only the missing ranges (read-around), patching them into the buffer
+// already in hand. Backoff sleeps advance virtual time, so an OST outage
+// window scheduled on the kernel clock can end mid-loop.
+func (r *PFSReader) readRange(p *sim.Proc, path string, off, n int64) ([]byte, error) {
+	out, missing, err := r.Client.ReadAtParts(p, path, off, n)
+	if err == nil && len(missing) == 0 {
+		return out, nil
+	}
+	for attempt := 0; attempt < r.Retry.MaxRetries; attempt++ {
+		if err != nil && !fault.IsTransient(err) {
+			return nil, err
+		}
+		p.Sleep(r.Retry.Backoff * float64(int64(1)<<attempt))
+		if err != nil {
+			r.Obs.Counter("core/read_retries_total", obs.L("kind", fault.KindOf(err))).Inc()
+			out, missing, err = r.Client.ReadAtParts(p, path, off, n)
+		} else {
+			r.Obs.Counter("core/read_around_total").Inc()
+			var still []ioengine.Range
+			for _, m := range missing {
+				data, miss, rerr := r.Client.ReadAtParts(p, path, m.Off, m.Len)
+				if rerr != nil {
+					err = rerr
+					still = nil
+					break
+				}
+				copy(out[m.Off-off:m.Off-off+int64(len(data))], data)
+				still = append(still, miss...)
+			}
+			if err == nil {
+				missing = still
+			}
+		}
+		if err == nil && len(missing) == 0 {
+			return out, nil
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return nil, fault.Transient("ost-down",
+		"core: read %s [%d,+%d): %d range(s) still offline after %d retries",
+		path, off, n, len(missing), r.Retry.MaxRetries)
+}
+
+// retryEngine routes engine-level chunk reads (the ReadSlab path) through
+// the reader's recovery loop, so cached/prefetched scientific reads get
+// the same retry and read-around behavior as flat block reads.
+type retryEngine struct {
+	r    *PFSReader
+	path string
+	size int64
+}
+
+func (e *retryEngine) ReadAt(p *sim.Proc, off, n int64) ([]byte, error) {
+	return e.r.readRange(p, e.path, off, n)
+}
+
+func (e *retryEngine) Size() int64 { return e.size }
+
+// Name namespaces cache keys with the file path, matching pfs.fileEngine.
+func (e *retryEngine) Name() string { return e.path }
 
 // readSpan opens a child span of p's current span, installs it as the
 // current span for the duration of the read (so PFS access spans nest
@@ -77,7 +164,7 @@ func (r *PFSReader) ReadBlock(p *sim.Proc, b *hdfs.Block) (any, error) {
 // bandwidth", unlike Hadoop's 64 KB streaming reads).
 func (r *PFSReader) ReadFlat(p *sim.Proc, src *FlatSource) ([]byte, error) {
 	defer r.readSpan(p, "PFSReader.ReadFlat", src.PFSPath)()
-	data, err := r.Client.ReadAt(p, src.PFSPath, src.Offset, src.Length)
+	data, err := r.readRange(p, src.PFSPath, src.Offset, src.Length)
 	if err != nil {
 		return nil, err
 	}
@@ -99,6 +186,9 @@ func (r *PFSReader) ReadSlab(p *sim.Proc, src *SlabSource) (*Slab, error) {
 	eng, err := r.Client.Engine(p, src.PFSPath)
 	if err != nil {
 		return nil, err
+	}
+	if r.Retry.MaxRetries > 0 {
+		eng = &retryEngine{r: r, path: src.PFSPath, size: eng.Size()}
 	}
 	reader := ioengine.Bind(p, eng, ioengine.Options{Cache: r.Cache, Prefetch: r.Prefetch, Obs: r.Obs})
 	raw, err := format.ReadSlab(reader, src.VarPath, src.Start, src.Count)

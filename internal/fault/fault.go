@@ -1,0 +1,68 @@
+// Package fault defines the error contract shared by the fault-injection
+// subsystem (internal/chaos) and the storage/compute layers it targets
+// (pfs, hdfs, core, mapreduce). It sits at the bottom of the dependency
+// order — chaos imports the substrates to flip their fault state, while
+// the substrates only need this package to classify the errors they
+// surface — so no import cycle forms.
+//
+// A transient error means "this exact operation may succeed if retried":
+// a flaky read, a checksum mismatch on corrupt bytes, an OST outage
+// window, a dead replica. Recovery layers (the PFS Reader's
+// retry-with-backoff, HDFS replica failover, MapReduce task re-execution)
+// retry transient errors and give up immediately on everything else.
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error is a transient, retryable failure injected by (or attributed to)
+// a fault condition.
+type Error struct {
+	// Kind classifies the fault ("flaky-read", "corrupt", "ost-down",
+	// "dn-down", "task-fail"). It labels retry metrics.
+	Kind string
+	// Msg is the human-readable description.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("fault(%s): %s", e.Kind, e.Msg) }
+
+// Transient constructs a retryable fault error of the given kind.
+func Transient(kind, format string, args ...any) error {
+	return &Error{Kind: kind, Msg: fmt.Sprintf(format, args...)}
+}
+
+// IsTransient reports whether err is (or wraps) a retryable fault error.
+func IsTransient(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+// KindOf returns the fault kind of a transient error ("" for other
+// errors) — the label retry counters carry.
+func KindOf(err error) string {
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe.Kind
+	}
+	return ""
+}
+
+// Outcome is a read-fault hook's verdict on one simulated read. The
+// storage layers call the installed hook once per read; the chaos
+// injector draws from its seeded PRNG to decide.
+type Outcome int
+
+const (
+	// OK lets the read proceed untouched.
+	OK Outcome = iota
+	// Fail makes the read return a transient error without moving data.
+	Fail
+	// Corrupt lets the transfer complete but flips bytes in the returned
+	// copy; the layer's checksum detects the damage and surfaces a
+	// transient error, so corrupt bytes never escape upward.
+	Corrupt
+)

@@ -23,10 +23,12 @@ package hdfs
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"strings"
 
 	"scidp/internal/cluster"
+	"scidp/internal/fault"
 	"scidp/internal/ioengine"
 	"scidp/internal/obs"
 	"scidp/internal/sim"
@@ -104,7 +106,14 @@ type DataNode struct {
 	Used int64
 	// BlockCount is the number of real block replicas stored here.
 	BlockCount int
+
+	// down marks a crashed/decommissioned daemon: replica selection and
+	// placement skip it until it comes back.
+	down bool
 }
+
+// Down reports whether the daemon is crashed/decommissioned.
+func (dn *DataNode) Down() bool { return dn.down }
 
 // FS is one HDFS instance over a cluster.
 type FS struct {
@@ -118,6 +127,13 @@ type FS struct {
 	nextID  int64
 	cursor  int
 
+	// baseNNLatency is the healthy RPC round trip; latency spikes scale
+	// from it.
+	baseNNLatency float64
+	// readFault, when installed, is consulted once per block-replica
+	// read — the chaos injector's flaky-read hook.
+	readFault func(blockID, bytes int64) fault.Outcome
+
 	obs             *obs.Registry
 	nnOps           *obs.Counter
 	localReads      *obs.Counter
@@ -126,6 +142,7 @@ type FS struct {
 	remoteReadBytes *obs.Counter
 	writeBytes      *obs.Counter
 	pipelineHops    *obs.Counter
+	failovers       *obs.Counter
 }
 
 // SetObs attaches an observability registry: NameNode op counts,
@@ -141,6 +158,7 @@ func (fs *FS) SetObs(r *obs.Registry) {
 	fs.remoteReadBytes = r.Counter("hdfs/read_bytes_total", obs.L("locality", "remote"))
 	fs.writeBytes = r.Counter("hdfs/write_bytes_total")
 	fs.pipelineHops = r.Counter("hdfs/replication_hops_total")
+	fs.failovers = r.Counter("hdfs/replica_failovers_total")
 }
 
 // New builds an HDFS whose DataNodes are every node of cl.
@@ -160,12 +178,43 @@ func New(k *sim.Kernel, cl *cluster.Cluster, cfg Config) *FS {
 	}
 	fs.nn = sim.NewResource("hdfs/namenode", cfg.NNOpsPerSec)
 	fs.nn.Latency = cfg.NNLatency
+	fs.baseNNLatency = cfg.NNLatency
 	for _, n := range cl.Nodes {
 		dn := &DataNode{Node: n}
 		fs.dns = append(fs.dns, dn)
 		fs.byNode[n] = dn
 	}
 	return fs
+}
+
+// ---- Fault state (flipped by the chaos injector from kernel events).
+
+// SetDataNodeDown crashes (or revives) the i-th DataNode: replica
+// selection fails over around it and placement skips it.
+func (fs *FS) SetDataNodeDown(i int, down bool) {
+	fs.dns[i].down = down
+	if fs.obs != nil {
+		v := 0.0
+		if down {
+			v = 1
+		}
+		fs.obs.Gauge("hdfs/datanode_down", obs.L("node", fs.dns[i].Node.Name)).Set(v)
+	}
+}
+
+// SetNNLatencyFactor multiplies the NameNode RPC round trip (an op
+// latency spike); factor <= 1 restores the configured value.
+func (fs *FS) SetNNLatencyFactor(factor float64) {
+	if factor <= 1 {
+		fs.nn.Latency = fs.baseNNLatency
+		return
+	}
+	fs.nn.Latency = fs.baseNNLatency * factor
+}
+
+// SetReadFault installs (or removes, with nil) the per-read fault hook.
+func (fs *FS) SetReadFault(fn func(blockID, bytes int64) fault.Outcome) {
+	fs.readFault = fn
 }
 
 // Config returns the configuration the FS was built with.
@@ -184,16 +233,58 @@ func (fs *FS) nnOp(p *sim.Proc) {
 }
 
 // readReplica charges the transfer for reading `bytes` of block b from
-// reader's best replica — the local disk when a replica lives on the
-// reader's node, otherwise the fabric from the first replica — and
-// accounts the read in the locality counters.
-func (fs *FS) readReplica(p *sim.Proc, reader *cluster.Node, b *Block, bytes float64) {
-	src := b.Replicas[0]
+// reader's best LIVE replica — the local disk when a live replica lives
+// on the reader's node, otherwise the fabric from the first live replica
+// — and accounts the read in the locality counters. Replica selection
+// routes through DataNode health: dead replicas are skipped (each skip
+// that forces a different source counts as a failover), and a block
+// whose replicas are all down returns a transient error for the task
+// layer to retry. The corrupt return asks the caller to checksum the
+// bytes it hands out (an injected corrupt read).
+func (fs *FS) readReplica(p *sim.Proc, reader *cluster.Node, b *Block, bytes float64) (corrupt bool, err error) {
+	var src *DataNode
 	local := false
 	for _, dn := range b.Replicas {
-		if dn.Node == reader {
+		if dn.Node == reader && !dn.down {
 			src, local = dn, true
 			break
+		}
+	}
+	if src == nil {
+		for _, dn := range b.Replicas {
+			if !dn.down {
+				src = dn
+				break
+			}
+		}
+	}
+	if src == nil {
+		if fs.obs != nil {
+			fs.obs.Counter("hdfs/read_faults_total", obs.L("kind", "no-live-replica")).Inc()
+		}
+		return false, fault.Transient("dn-down", "hdfs: block %d: all %d replica(s) on dead DataNodes", b.ID, len(b.Replicas))
+	}
+	// A failover is any read that had to pass over a dead replica it
+	// would otherwise have used: the preferred (first) replica, or a
+	// local one.
+	failover := b.Replicas[0].down
+	for _, dn := range b.Replicas {
+		if dn.Node == reader && dn.down {
+			failover = true
+		}
+	}
+	if failover {
+		fs.failovers.Inc()
+	}
+	if fs.readFault != nil {
+		switch fs.readFault(b.ID, int64(bytes)) {
+		case fault.Fail:
+			if fs.obs != nil {
+				fs.obs.Counter("hdfs/read_faults_total", obs.L("kind", "flaky-read")).Inc()
+			}
+			return false, fault.Transient("flaky-read", "hdfs: block %d: transient read error from %s", b.ID, src.Node.Name)
+		case fault.Corrupt:
+			corrupt = true
 		}
 	}
 	if local {
@@ -205,6 +296,24 @@ func (fs *FS) readReplica(p *sim.Proc, reader *cluster.Node, b *Block, bytes flo
 		fs.remoteReadBytes.Add(bytes)
 		p.Transfer(bytes, fs.cluster.RemoteReadPath(src.Node, reader)...)
 	}
+	return corrupt, nil
+}
+
+// checksumCopy models a corrupt-on-the-wire read of data: the returned
+// copy is damaged, the block checksum detects it, and a transient error
+// surfaces instead of bad bytes.
+func (fs *FS) checksumCopy(b *Block, data []byte) error {
+	out := append([]byte(nil), data...)
+	if len(out) > 0 {
+		out[len(out)/2] ^= 0xFF
+	}
+	if crc32.ChecksumIEEE(out) != crc32.ChecksumIEEE(data) {
+		if fs.obs != nil {
+			fs.obs.Counter("hdfs/read_faults_total", obs.L("kind", "corrupt")).Inc()
+		}
+		return fault.Transient("corrupt", "hdfs: block %d: checksum mismatch", b.ID)
+	}
+	return nil
 }
 
 // mkdirAll creates path and its ancestors as directories (no time charge;
@@ -247,19 +356,27 @@ func parent(p string) string {
 	return p[:i]
 }
 
-// placeReplicas picks Replication distinct DataNodes, preferring the
-// writer's own node for the first replica (standard HDFS policy).
+// placeReplicas picks Replication distinct LIVE DataNodes, preferring
+// the writer's own node for the first replica (standard HDFS policy).
+// Dead daemons are skipped; fewer replicas than configured come back
+// when not enough daemons are alive (nil when none are).
 func (fs *FS) placeReplicas(writer *cluster.Node) []*DataNode {
 	reps := make([]*DataNode, 0, fs.cfg.Replication)
 	seen := map[*DataNode]bool{}
-	if dn, ok := fs.byNode[writer]; ok {
+	live := 0
+	for _, dn := range fs.dns {
+		if !dn.down {
+			live++
+		}
+	}
+	if dn, ok := fs.byNode[writer]; ok && !dn.down {
 		reps = append(reps, dn)
 		seen[dn] = true
 	}
-	for len(reps) < fs.cfg.Replication && len(reps) < len(fs.dns) {
+	for len(reps) < fs.cfg.Replication && len(reps) < live {
 		dn := fs.dns[fs.cursor%len(fs.dns)]
 		fs.cursor++
-		if !seen[dn] {
+		if !seen[dn] && !dn.down {
 			reps = append(reps, dn)
 			seen[dn] = true
 		}
@@ -298,6 +415,9 @@ func (fs *FS) WriteFile(p *sim.Proc, client *cluster.Node, path string, data []b
 		chunk := data[off:end]
 		fs.nnOp(p)
 		reps := fs.placeReplicas(client)
+		if len(reps) == 0 {
+			return fault.Transient("dn-down", "hdfs: create %s: no live DataNodes", path)
+		}
 		fs.nextID++
 		b := &Block{ID: fs.nextID, Size: int64(len(chunk)), Replicas: reps}
 		b.data = append([]byte(nil), chunk...)
@@ -343,6 +463,9 @@ func (fs *FS) Put(path string, data []byte) (*INode, error) {
 		}
 		chunk := data[off:end]
 		reps := fs.placeReplicas(nil)
+		if len(reps) == 0 {
+			return nil, fault.Transient("dn-down", "hdfs: put %s: no live DataNodes", path)
+		}
 		fs.nextID++
 		b := &Block{ID: fs.nextID, Size: int64(len(chunk)), Replicas: reps}
 		b.data = append([]byte(nil), chunk...)
@@ -492,10 +615,11 @@ func (fs *FS) Remove(p *sim.Proc, path string) error {
 	return nil
 }
 
-// ReadBlock reads one real block from the reader's best replica: the local
-// disk when a replica lives on reader's node, otherwise a remote read over
-// the fabric from the first replica. Virtual blocks return an error — the
-// caller (SciDP's PFS Reader) must resolve those against the PFS.
+// ReadBlock reads one real block from the reader's best live replica:
+// the local disk when a live replica lives on reader's node, otherwise a
+// remote read over the fabric from the first live replica (failing over
+// past dead DataNodes). Virtual blocks return an error — the caller
+// (SciDP's PFS Reader) must resolve those against the PFS.
 func (fs *FS) ReadBlock(p *sim.Proc, reader *cluster.Node, b *Block) ([]byte, error) {
 	if b.Virtual {
 		return nil, fmt.Errorf("hdfs: block %d is virtual; resolve via its Source", b.ID)
@@ -503,7 +627,15 @@ func (fs *FS) ReadBlock(p *sim.Proc, reader *cluster.Node, b *Block) ([]byte, er
 	if len(b.Replicas) == 0 {
 		return nil, fmt.Errorf("hdfs: block %d has no replicas", b.ID)
 	}
-	fs.readReplica(p, reader, b, float64(b.Size))
+	corrupt, err := fs.readReplica(p, reader, b, float64(b.Size))
+	if err != nil {
+		return nil, err
+	}
+	if corrupt {
+		if err := fs.checksumCopy(b, b.data); err != nil {
+			return nil, err
+		}
+	}
 	return b.data, nil
 }
 
@@ -544,8 +676,17 @@ func (fs *FS) ReadAt(p *sim.Proc, reader *cluster.Node, path string, off, n int6
 		if b.Virtual {
 			return nil, fmt.Errorf("hdfs: block %d is virtual; resolve via its Source", b.ID)
 		}
-		fs.readReplica(p, reader, b, float64(piece.Len))
-		out = append(out, b.data[piece.Off-ext.Off:piece.End()-ext.Off]...)
+		corrupt, err := fs.readReplica(p, reader, b, float64(piece.Len))
+		if err != nil {
+			return nil, err
+		}
+		slice := b.data[piece.Off-ext.Off : piece.End()-ext.Off]
+		if corrupt {
+			if err := fs.checksumCopy(b, slice); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, slice...)
 	}
 	return out, nil
 }
@@ -569,6 +710,26 @@ func (fs *FS) ReadFile(p *sim.Proc, reader *cluster.Node, path string) ([]byte, 
 		out = append(out, data...)
 	}
 	return out, nil
+}
+
+// ReadFileRetry is ReadFile with client-side recovery of transient block
+// faults — what a DFS client does when a read returns a checksum mismatch
+// or a flaky replica: back off (exponentially, starting at backoff
+// seconds) and re-read, up to attempts tries. Non-transient errors
+// surface immediately.
+func (fs *FS) ReadFileRetry(p *sim.Proc, reader *cluster.Node, path string, attempts int, backoff float64) ([]byte, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var data []byte
+	var err error
+	for i := 0; i < attempts; i++ {
+		if data, err = fs.ReadFile(p, reader, path); err == nil || !fault.IsTransient(err) {
+			return data, err
+		}
+		p.Sleep(backoff * float64(int64(1)<<i))
+	}
+	return nil, err
 }
 
 // HostsOf returns the node names holding replicas of b (empty for virtual

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"scidp/internal/cluster"
+	"scidp/internal/fault"
+	"scidp/internal/obs"
 	"scidp/internal/sim"
 )
 
@@ -430,6 +432,77 @@ func TestPutInstantPlacement(t *testing.T) {
 		got, err := fs.ReadFile(p, cl.Node(0), "/p")
 		if err != nil || len(got) != 300 {
 			t.Fatalf("read back = %d, %v", len(got), err)
+		}
+	})
+}
+
+func TestReplicaFailoverOnDeadDataNode(t *testing.T) {
+	k := sim.NewKernel()
+	cl := testCluster(k, 4)
+	cfg := testConfig()
+	cfg.Replication = 2
+	fs := New(k, cl, cfg)
+	reg := obs.New()
+	fs.SetObs(reg)
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	run(k, func(p *sim.Proc) {
+		// The writer holds each block's first replica, so killing it
+		// forces every remote read through failover.
+		if err := fs.WriteFile(p, cl.Node(1), "/f", data); err != nil {
+			t.Fatal(err)
+		}
+		fs.SetDataNodeDown(1, true)
+		got, err := fs.ReadFile(p, cl.Node(0), "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("failover read returned wrong bytes")
+		}
+		// New placements must skip the dead DataNode.
+		if err := fs.WriteFile(p, cl.Node(0), "/g", data); err != nil {
+			t.Fatal(err)
+		}
+		n, _ := fs.Lookup("/g")
+		for _, b := range n.Blocks {
+			if len(b.Replicas) != 2 {
+				t.Fatalf("replicas = %d, want 2", len(b.Replicas))
+			}
+			for _, dn := range b.Replicas {
+				if dn.Node == cl.Node(1) {
+					t.Fatal("placement used a dead DataNode")
+				}
+			}
+		}
+	})
+	if v := reg.Counter("hdfs/replica_failovers_total").Value(); v == 0 {
+		t.Fatal("expected nonzero replica failovers")
+	}
+}
+
+func TestAllReplicasDeadIsTransient(t *testing.T) {
+	k := sim.NewKernel()
+	cl := testCluster(k, 4)
+	fs := New(k, cl, testConfig())
+	run(k, func(p *sim.Proc) {
+		if err := fs.WriteFile(p, cl.Node(1), "/f", make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+		fs.SetDataNodeDown(1, true)
+		_, err := fs.ReadFile(p, cl.Node(0), "/f")
+		if err == nil {
+			t.Fatal("read with no live replica must fail")
+		}
+		if !fault.IsTransient(err) || fault.KindOf(err) != "dn-down" {
+			t.Fatalf("want transient dn-down, got %v", err)
+		}
+		// Recovery: the daemon comes back and the read succeeds.
+		fs.SetDataNodeDown(1, false)
+		if _, err := fs.ReadFile(p, cl.Node(0), "/f"); err != nil {
+			t.Fatal(err)
 		}
 	})
 }

@@ -20,6 +20,7 @@ package mapreduce
 
 import (
 	"fmt"
+	"sort"
 
 	"scidp/internal/cluster"
 	"scidp/internal/obs"
@@ -95,12 +96,19 @@ type Job struct {
 	PairBytes func(kv KV) int64
 	// Partition routes a key to a reducer (default: FNV hash).
 	Partition func(key string, reducers int) int
-	// MaxAttempts bounds task retries (default 1 = no retry).
+	// MaxAttempts bounds task attempts — retries after failure and
+	// speculative backups both draw from the same budget (default 1 =
+	// no retry, no speculation).
 	MaxAttempts int
-	// FailInject, when set, forces the given map task attempt to fail —
-	// a hook for fault-tolerance tests. Called as FailInject(taskIndex,
-	// attempt).
-	FailInject func(task, attempt int) bool
+	// Faults, when set, is consulted once per task attempt and can fail
+	// the attempt (after its startup cost) or slow its modeled compute.
+	// The chaos injector satisfies this; tests can use any stub.
+	Faults TaskFaults
+	// Speculation enables backup attempts for straggling map tasks.
+	// Reduce tasks never speculate: their bodies write job output to the
+	// shared file systems directly, so duplicate attempts would not be
+	// idempotent. See Speculation for the policy knobs.
+	Speculation Speculation
 	// Obs, when non-nil, receives the job's spans (job -> phase -> task,
 	// with tasks placed on node/slot tracks) and metrics: task counts,
 	// attempts and failures, task and phase duration histograms, shuffle
@@ -108,6 +116,40 @@ type Job struct {
 	// check per site.
 	Obs *obs.Registry
 }
+
+// TaskFaults is the engine's single fault-injection point, unifying what
+// used to be an ad-hoc per-job fail hook with the chaos subsystem. It is
+// consulted once per task attempt; a non-nil error fails the attempt
+// after its startup cost (the container launched, then the task died),
+// and a slowdown factor > 1 stretches the attempt's startup and charged
+// compute — a straggler. internal/chaos's Injector satisfies this
+// structurally (chaos does not import mapreduce), as can any test stub.
+type TaskFaults interface {
+	TaskFault(phase string, task, attempt int) (err error, slowdown float64)
+}
+
+// Speculation is the backup-attempt policy for straggling map tasks,
+// modeled on Hadoop speculative execution: once enough tasks have
+// finished to estimate the phase's duration distribution, any running
+// task older than Multiplier × the Quantile gets one backup attempt on a
+// free slot; the first attempt to finish commits, the other's work is
+// discarded. All timing lives on the virtual clock, so speculation is
+// deterministic like everything else.
+type Speculation struct {
+	// Quantile of the completed-task duration distribution that anchors
+	// the slowness threshold, e.g. 0.75. Zero disables speculation.
+	Quantile float64
+	// Multiplier scales the quantile into the threshold (default 1).
+	Multiplier float64
+	// MinCompleted is how many tasks must complete before the
+	// distribution is trusted (default 1).
+	MinCompleted int
+	// Interval is the monitor's scan period in virtual seconds
+	// (default 0.5).
+	Interval float64
+}
+
+func (s Speculation) enabled() bool { return s.Quantile > 0 }
 
 // taskSecondsBuckets covers task and phase durations from 1/8 s to ~17
 // virtual minutes, doubling per bucket.
@@ -178,12 +220,16 @@ func (r *Result) PhaseMean(name string) float64 {
 
 // TaskContext is handed to map and reduce functions.
 type TaskContext struct {
-	job    *Job
-	proc   *sim.Proc
-	node   *cluster.Node
-	stats  *TaskStats
-	emit   func(KV)
-	result *Result
+	job      *Job
+	proc     *sim.Proc
+	node     *cluster.Node
+	stats    *TaskStats
+	emit     func(KV)
+	result   *Result
+	counters map[string]int64
+	// slow stretches modeled compute (startup + Charge) for straggler
+	// injection; always >= 1.
+	slow float64
 }
 
 // Proc returns the task's simulated process (for file-system calls).
@@ -199,8 +245,11 @@ func (tc *TaskContext) Now() float64 { return tc.proc.Now() }
 func (tc *TaskContext) Emit(key string, value any) { tc.emit(KV{K: key, V: value}) }
 
 // Charge blocks the task for d seconds of modeled compute and attributes
-// it to the named phase.
+// it to the named phase. An injected straggler slowdown stretches the
+// sleep (and the attributed duration — the phase histogram should show
+// the straggler as slow, or speculation could never spot it).
 func (tc *TaskContext) Charge(phase string, d float64) {
+	d *= tc.slow
 	tc.proc.Sleep(d)
 	tc.addPhase(phase, d)
 }
@@ -226,24 +275,57 @@ func (tc *TaskContext) addPhase(name string, d float64) {
 	tc.stats.Phases = append(tc.stats.Phases, Phase{Name: name, Seconds: d})
 }
 
-// Counter adds delta to the named job counter. With Job.Obs attached
-// the same increment lands in the registry series
+// Counter adds delta to the named job counter. Increments accumulate
+// per-attempt and merge into the job totals only when the attempt
+// commits, so failed attempts and discarded speculative losers never
+// pollute the counts (Hadoop's failed-attempt-counter semantics). With
+// Job.Obs attached the committed increments land in the registry series
 // mr/counter_total{job=..., name=...}, so user counters appear in the
 // Prometheus dump alongside the engine's own metrics.
 func (tc *TaskContext) Counter(name string, delta int64) {
-	tc.result.Counters[name] += delta
-	if tc.job.Obs != nil {
-		tc.job.Obs.Counter("mr/counter_total", obs.L("job", tc.job.Name), obs.L("name", name)).Add(float64(delta))
+	tc.counters[name] += delta
+}
+
+// commitCounters merges a winning attempt's counters into the job's, in
+// sorted key order so registry series always register in the same order.
+func (tc *TaskContext) commitCounters() {
+	if len(tc.counters) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(tc.counters))
+	for k := range tc.counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		tc.result.Counters[k] += tc.counters[k]
+		if tc.job.Obs != nil {
+			tc.job.Obs.Counter("mr/counter_total", obs.L("job", tc.job.Name), obs.L("name", k)).Add(float64(tc.counters[k]))
+		}
 	}
 }
 
-// task is one schedulable unit.
+// task is one schedulable unit. The body does all its work against
+// attempt-local state and returns a commit closure that publishes the
+// result; with speculation two attempts can run the body concurrently
+// (in virtual time), but exactly one commit ever runs — the first
+// finisher's. A failed body returns a nil commit.
 type task struct {
-	index   int
-	label   string
-	locs    []string
-	attempt int
-	body    func(tc *TaskContext) error
+	index int
+	label string
+	locs  []string
+	body  func(tc *TaskContext) (commit func(), err error)
+
+	attempt  int     // attempts launched so far (retries + backups)
+	inflight int     // attempts currently running
+	started  float64 // virtual start of the oldest running attempt
+	done     bool    // an attempt has committed
+	// speculated marks that a backup attempt was (or is queued to be)
+	// launched; at most one backup per task.
+	speculated bool
+	// pendingSpec marks the queued entry as a speculative backup so the
+	// worker that pops it can label the attempt.
+	pendingSpec bool
 }
 
 // localityQueue hands tasks to workers, preferring node-local splits.
@@ -364,15 +446,13 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 			index: i,
 			label: s.Label,
 			locs:  s.Locations,
-			body: func(tc *TaskContext) error {
-				if j.FailInject != nil && j.FailInject(i, tc.stats.Attempt) {
-					return fmt.Errorf("injected failure on task %d attempt %d", i, tc.stats.Attempt)
-				}
+			body: func(tc *TaskContext) (func(), error) {
 				mo := &mapOut{node: tc.node}
 				if reducers > 0 {
 					mo.buckets = make([][]KV, reducers)
 					mo.bytes = make([]int64, reducers)
 				}
+				var localOnly []KV
 				tc.emit = func(kv KV) {
 					if reducers > 0 {
 						b := partition(kv.K, reducers)
@@ -383,19 +463,19 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 						mo.buckets[b] = append(bkt, kv)
 						mo.bytes[b] += pairBytes(kv)
 					} else {
-						mapOnly = append(mapOnly, kv)
+						localOnly = append(localOnly, kv)
 					}
 				}
 				err := j.Input.ForEach(tc, s, func(key string, value any) error {
 					return j.Map(tc, key, value)
 				})
 				if err != nil {
-					return err
+					return nil, err
 				}
 				if reducers > 0 {
 					if j.Combine != nil {
 						if err := combineBuckets(tc, j, mo.buckets, mo.bytes, pairBytes); err != nil {
-							return err
+							return nil, err
 						}
 					} else {
 						for b := range mo.buckets {
@@ -403,8 +483,10 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 						}
 					}
 				}
-				outs[i] = mo
-				return nil
+				return func() {
+					outs[i] = mo
+					mapOnly = append(mapOnly, localOnly...)
+				}, nil
 			},
 		}
 	}
@@ -431,9 +513,11 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 			index: r,
 			label: fmt.Sprintf("reduce-%d", r),
 			locs:  []string{home.Name},
-			body: func(tc *TaskContext) error {
+			body: func(tc *TaskContext) (func(), error) {
 				// Shuffle: fetch this reducer's sorted runs, in map-task
-				// order (the merge's stability tie-break).
+				// order (the merge's stability tie-break). ShuffleBytes
+				// accrues per attempt, not at commit — a retried reducer
+				// really does re-fetch its runs over the fabric.
 				var parts []sim.Part
 				runs := make([][]KV, 0, len(outs))
 				for _, mo := range outs {
@@ -456,12 +540,16 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 				// Streaming sort-merge: k-way heap merge over the runs,
 				// grouped values reaching Reduce through a pooled buffer
 				// (valid only for the duration of each call).
-				tc.emit = func(kv KV) { finalParts[r] = append(finalParts[r], kv) }
+				var local []KV
+				tc.emit = func(kv KV) { local = append(local, kv) }
 				vals := getVals()
 				defer putVals(vals)
-				return eachGroup(runs, vals, func(key string, vs []any) error {
+				if err := eachGroup(runs, vals, func(key string, vs []any) error {
 					return j.Reduce(tc, key, vs)
-				})
+				}); err != nil {
+					return nil, err
+				}
+				return func() { finalParts[r] = local }, nil
 			},
 		}
 	}
@@ -489,11 +577,16 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 }
 
 // runPhase executes tasks on the cluster's worker slots and blocks the
-// driver until every task finishes or permanently fails.
+// driver until every task commits or permanently fails. Failed attempts
+// requeue while the MaxAttempts budget lasts; with speculation enabled
+// (map phase only) a monitor process launches backup attempts for
+// stragglers, and whichever attempt finishes first commits — the loser
+// runs out its slot but its work is discarded.
 func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64, maxAttempts int, stats *[]TaskStats, res *Result, fail func(error)) {
 	k := p.Kernel()
 	var phaseSpan *obs.Span
 	var attempts, failures, completed *obs.Counter
+	var specLaunched, specWins, specLosses *obs.Counter
 	var taskSeconds *obs.Histogram
 	if j.Obs != nil {
 		phaseSpan = j.Obs.StartSpan("phase:"+phase, "mapreduce", p.Span())
@@ -501,13 +594,26 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 		attempts = j.Obs.Counter("mr/task_attempts_total", l)
 		failures = j.Obs.Counter("mr/task_failures_total", l)
 		completed = j.Obs.Counter("mr/tasks_total", l)
+		specLaunched = j.Obs.Counter("mr/speculative_launched_total", l)
+		specWins = j.Obs.Counter("mr/speculative_wins_total", l)
+		specLosses = j.Obs.Counter("mr/speculative_losses_total", l)
 		taskSeconds = j.Obs.Histogram("mr/task_seconds", taskSecondsBuckets, l)
 	}
+	spec := j.Speculation
+	speculative := phase == "map" && spec.enabled() && maxAttempts > 1
+	// durations feeds the speculation threshold even when no registry is
+	// attached (taskSeconds would be a nil no-op then).
+	durations := obs.NewHistogram(taskSecondsBuckets)
 	q := &localityQueue{}
 	for _, t := range tasks {
 		t.attempt = 0
+		t.inflight = 0
+		t.done = false
+		t.speculated = false
+		t.pendingSpec = false
 		q.push(t)
 	}
+	remaining := len(tasks)
 	wg := k.NewWaitGroup()
 	wg.Add(len(tasks))
 	for _, node := range j.Cluster.Nodes {
@@ -528,7 +634,13 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 					t := q.pickLocal(node.Name)
 					if t == nil {
 						if q.empty() {
-							return
+							if !speculative || remaining == 0 {
+								return
+							}
+							// Speculation may still queue backups; idle
+							// until every task has committed or failed.
+							wp.Sleep(0.25)
+							continue
 						}
 						// Delay scheduling: give preferred nodes a few
 						// beats before stealing their tasks.
@@ -543,42 +655,149 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 						}
 					}
 					misses = 0
+					if t.done {
+						// A queued backup whose task committed before any
+						// slot freed up — nothing left to do.
+						continue
+					}
+					isSpec := t.pendingSpec
+					t.pendingSpec = false
 					t.attempt++
+					if t.inflight == 0 {
+						t.started = wp.Now()
+					}
+					t.inflight++
 					attempts.Inc()
+					if isSpec {
+						specLaunched.Inc()
+					}
+					slow := 1.0
+					var ferr error
+					if j.Faults != nil {
+						ferr, slow = j.Faults.TaskFault(phase, t.index, t.attempt)
+						if slow < 1 {
+							slow = 1
+						}
+					}
 					var taskSpan *obs.Span
 					if j.Obs != nil {
 						taskSpan = j.Obs.StartSpan("task:"+t.label, "mapreduce", phaseSpan)
 						taskSpan.SetTrack(fmt.Sprintf("%s/slot-%d", node.Name, s))
 						taskSpan.Arg("node", node.Name)
 						taskSpan.Arg("attempt", t.attempt)
+						if isSpec {
+							taskSpan.Arg("speculative", true)
+						}
+						if slow > 1 {
+							taskSpan.Arg("slowdown", slow)
+						}
 					}
 					ts := TaskStats{Label: t.label, Node: node.Name, Start: wp.Now(), Attempt: t.attempt}
-					tc := &TaskContext{job: j, proc: wp, node: node, stats: &ts, result: res}
+					tc := &TaskContext{job: j, proc: wp, node: node, stats: &ts, result: res,
+						counters: map[string]int64{}, slow: slow}
 					prevSpan := wp.SetSpan(taskSpan)
-					wp.Sleep(startup)
-					err := t.body(tc)
+					wp.Sleep(startup * slow)
+					var commit func()
+					var err error
+					if ferr != nil {
+						err = ferr
+					} else {
+						commit, err = t.body(tc)
+					}
 					ts.End = wp.Now()
 					wp.SetSpan(prevSpan)
+					t.inflight--
 					if err != nil {
 						failures.Inc()
 						taskSpan.Arg("failed", true)
 						taskSpan.End()
+						if t.done {
+							// A backup's sibling already committed; this
+							// failure is moot.
+							continue
+						}
 						if t.attempt < maxAttempts {
 							q.push(t)
 							continue
 						}
+						if t.inflight > 0 {
+							// Out of budget, but a sibling attempt is
+							// still running and may yet commit.
+							continue
+						}
 						fail(err)
+						remaining--
 						wg.Done()
 						continue
+					}
+					if t.done {
+						// The other attempt committed first: discard this
+						// one's work. The loss was already counted when
+						// the winner committed.
+						taskSpan.Arg("discarded", true)
+						taskSpan.End()
+						continue
+					}
+					t.done = true
+					if isSpec {
+						specWins.Inc()
+					} else if t.speculated {
+						// Original finished first; the backup (queued or
+						// running) was wasted work.
+						specLosses.Inc()
 					}
 					taskSpan.End()
 					completed.Inc()
 					taskSeconds.Observe(ts.End - ts.Start)
+					durations.Observe(ts.End - ts.Start)
+					tc.commitCounters()
+					commit()
 					*stats = append(*stats, ts)
+					remaining--
 					wg.Done()
 				}
 			})
 		}
+	}
+	if speculative {
+		interval := spec.Interval
+		if interval <= 0 {
+			interval = 0.5
+		}
+		mult := spec.Multiplier
+		if mult <= 0 {
+			mult = 1
+		}
+		minDone := spec.MinCompleted
+		if minDone <= 0 {
+			minDone = 1
+		}
+		k.Go(fmt.Sprintf("%s/%s-speculator", j.Name, phase), func(sp *sim.Proc) {
+			for remaining > 0 {
+				sp.Sleep(interval)
+				if remaining == 0 {
+					return
+				}
+				if int(durations.Count()) < minDone {
+					continue
+				}
+				threshold := mult * durations.Quantile(spec.Quantile)
+				if threshold <= 0 {
+					continue
+				}
+				for _, t := range tasks {
+					if t.done || t.speculated || t.inflight != 1 || t.attempt >= maxAttempts {
+						continue
+					}
+					if sp.Now()-t.started <= threshold {
+						continue
+					}
+					t.speculated = true
+					t.pendingSpec = true
+					q.push(t)
+				}
+			}
+		})
 	}
 	p.Wait(wg)
 	phaseSpan.End()

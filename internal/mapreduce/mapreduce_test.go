@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"scidp/internal/cluster"
+	"scidp/internal/obs"
 	"scidp/internal/sim"
 )
 
@@ -241,12 +242,25 @@ func TestShuffleBytesAccounted(t *testing.T) {
 	}
 }
 
+// stubFaults adapts a func to the TaskFaults interface — tests stand in
+// for the chaos injector the same way it plugs in: structurally.
+type stubFaults func(phase string, task, attempt int) (error, float64)
+
+func (f stubFaults) TaskFault(phase string, task, attempt int) (error, float64) {
+	return f(phase, task, attempt)
+}
+
 func TestRetrySucceeds(t *testing.T) {
 	k := sim.NewKernel()
 	in := linesInput(0, []string{"a"}, []string{"b"})
 	job := wordCountJob(k, in, 2, 1, 1)
 	job.MaxAttempts = 3
-	job.FailInject = func(task, attempt int) bool { return task == 0 && attempt < 3 }
+	job.Faults = stubFaults(func(phase string, task, attempt int) (error, float64) {
+		if phase == "map" && task == 0 && attempt < 3 {
+			return fmt.Errorf("injected failure on task %d attempt %d", task, attempt), 1
+		}
+		return nil, 1
+	})
 	res := runJob(t, k, job)
 	if len(res.Output) != 2 {
 		t.Fatalf("output = %+v", res.Output)
@@ -263,7 +277,9 @@ func TestPermanentFailureSurfacesError(t *testing.T) {
 	in := linesInput(0, []string{"a"})
 	job := wordCountJob(k, in, 1, 1, 1)
 	job.MaxAttempts = 2
-	job.FailInject = func(task, attempt int) bool { return true }
+	job.Faults = stubFaults(func(phase string, task, attempt int) (error, float64) {
+		return fmt.Errorf("injected failure"), 1
+	})
 	var err error
 	k.Go("driver", func(p *sim.Proc) {
 		_, err = job.Run(p)
@@ -454,5 +470,68 @@ func TestCombinerErrorPropagates(t *testing.T) {
 	k.Run()
 	if err == nil || !strings.Contains(err.Error(), "combiner exploded") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSpeculativeBackupWins(t *testing.T) {
+	// One straggling first-attempt map task (50x slowdown) on a cluster
+	// with spare wave-2 slots: the speculator must launch a backup, the
+	// backup must commit first, and the straggler's late finish must be
+	// discarded without double-counting its output.
+	k := sim.NewKernel()
+	in := linesInput(1.0,
+		[]string{"a a"}, []string{"a"}, []string{"a"}, []string{"a"},
+		[]string{"a"}, []string{"a"}, []string{"a"}, []string{"a"},
+	)
+	reg := obs.New()
+	job := wordCountJob(k, in, 2, 2, 1)
+	job.Obs = reg
+	job.MaxAttempts = 2
+	job.Speculation = Speculation{Quantile: 0.5, Multiplier: 1.5, MinCompleted: 3, Interval: 0.1}
+	job.Faults = stubFaults(func(phase string, task, attempt int) (error, float64) {
+		if phase == "map" && task == 0 && attempt == 1 {
+			return nil, 50
+		}
+		return nil, 1
+	})
+	res := runJob(t, k, job)
+	if len(res.Output) != 1 || res.Output[0].V.(int) != 9 {
+		t.Fatalf("output = %+v, want a=9 exactly once", res.Output)
+	}
+	wins := reg.Counter("mr/speculative_wins_total", obs.L("phase", "map")).Value()
+	launched := reg.Counter("mr/speculative_launched_total", obs.L("phase", "map")).Value()
+	if launched == 0 || wins == 0 {
+		t.Fatalf("speculation launched=%v wins=%v, want both nonzero", launched, wins)
+	}
+}
+
+func TestSpeculativeBackupLoses(t *testing.T) {
+	// A mild straggler crosses the speculation threshold but still beats
+	// its backup (which pays full startup + read again): the original
+	// commits, the backup is discarded, and the loss is counted once.
+	k := sim.NewKernel()
+	in := linesInput(1.0,
+		[]string{"a"}, []string{"a"}, []string{"a"}, []string{"a"},
+		[]string{"a"}, []string{"a"}, []string{"a"}, []string{"a"},
+	)
+	reg := obs.New()
+	job := wordCountJob(k, in, 2, 2, 1)
+	job.Obs = reg
+	job.MaxAttempts = 2
+	job.Speculation = Speculation{Quantile: 0.5, Multiplier: 1.2, MinCompleted: 3, Interval: 0.1}
+	job.Faults = stubFaults(func(phase string, task, attempt int) (error, float64) {
+		if phase == "map" && task == 0 && attempt == 1 {
+			return nil, 2.6
+		}
+		return nil, 1
+	})
+	res := runJob(t, k, job)
+	if len(res.Output) != 1 || res.Output[0].V.(int) != 8 {
+		t.Fatalf("output = %+v, want a=8 exactly once", res.Output)
+	}
+	wins := reg.Counter("mr/speculative_wins_total", obs.L("phase", "map")).Value()
+	losses := reg.Counter("mr/speculative_losses_total", obs.L("phase", "map")).Value()
+	if wins != 0 || losses != 1 {
+		t.Fatalf("speculation wins=%v losses=%v, want 0 and 1", wins, losses)
 	}
 }

@@ -343,6 +343,16 @@ func (g *Gauge) Samples() []Sample {
 	return out
 }
 
+// NewHistogram returns a standalone histogram with the given ascending
+// upper bounds (+Inf implicit) — not registered in any Registry, for
+// callers that need the distribution math (e.g. the speculation monitor)
+// without exporting a series.
+func NewHistogram(buckets []float64) *Histogram {
+	b := make([]float64, len(buckets))
+	copy(b, buckets)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
 // Histogram counts observations into fixed upper-bound buckets and
 // tracks sum/count, Prometheus-style.
 type Histogram struct {
@@ -377,6 +387,38 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return h.sum
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution from the bucket counts: it finds the bucket holding the
+// q-th observation and returns that bucket's upper bound (the previous
+// bound for the +Inf bucket, since it has no upper edge). A conservative
+// over-estimate by design — the speculative-execution trigger wants "this
+// task is slower than the qth-fastest bucket", not an interpolated
+// midpoint. Returns 0 when empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			// +Inf bucket: fall back to the largest finite bound.
+			if len(h.bounds) > 0 {
+				return h.bounds[len(h.bounds)-1]
+			}
+			return h.sum / float64(h.count)
+		}
+	}
+	return 0
 }
 
 // ExpBuckets returns n upper bounds start, start*factor, ... — the usual

@@ -15,9 +15,11 @@ package pfs
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"strings"
 
+	"scidp/internal/fault"
 	"scidp/internal/ioengine"
 	"scidp/internal/obs"
 	"scidp/internal/sim"
@@ -90,6 +92,12 @@ type ost struct {
 	disk *sim.Resource
 	oss  *ossNode
 
+	// baseBW is the healthy disk capacity; slowdowns scale from it.
+	baseBW float64
+	// down marks an outage window: reads covering this target's stripes
+	// are returned as missing ranges for the reader to read around.
+	down bool
+
 	readBytes  *obs.Counter
 	writeBytes *obs.Counter
 	requests   *obs.Counter
@@ -126,6 +134,13 @@ type FS struct {
 	files  map[string]*File
 	next   int // round-robin OST allocation cursor
 
+	// baseMDSLatency is the healthy metadata round trip; latency spikes
+	// scale from it.
+	baseMDSLatency float64
+	// readFault, when installed, is consulted once per simulated read —
+	// the chaos injector's flaky-read hook.
+	readFault func(path string, off, n int64) fault.Outcome
+
 	obs    *obs.Registry
 	mdsOps *obs.Counter
 }
@@ -160,15 +175,71 @@ func New(k *sim.Kernel, cfg Config) *FS {
 	}
 	fs.mds = sim.NewResource("pfs/mds", cfg.MDSOpsPerSec)
 	fs.mds.Latency = cfg.MDSLatency
+	fs.baseMDSLatency = cfg.MDSLatency
 	for i := 0; i < cfg.OSSCount; i++ {
 		oss := &ossNode{nic: sim.NewResource(fmt.Sprintf("pfs/oss-%d/nic", i), cfg.OSSNICBW)}
 		for j := 0; j < cfg.OSTsPerOSS; j++ {
 			d := sim.NewResource(fmt.Sprintf("pfs/ost-%d", i*cfg.OSTsPerOSS+j), cfg.OSTBW)
 			d.Latency = cfg.OSTLatency
-			fs.osts = append(fs.osts, &ost{disk: d, oss: oss})
+			fs.osts = append(fs.osts, &ost{disk: d, oss: oss, baseBW: cfg.OSTBW})
 		}
 	}
 	return fs
+}
+
+// ---- Fault state (flipped by the chaos injector from kernel events).
+
+// SetReadFault installs (or removes, with nil) the per-read fault hook.
+func (fs *FS) SetReadFault(fn func(path string, off, n int64) fault.Outcome) {
+	fs.readFault = fn
+}
+
+// SetOSTDown marks target i offline (reads covering its stripes come
+// back as missing ranges) or back online.
+func (fs *FS) SetOSTDown(i int, down bool) {
+	o := fs.osts[i]
+	o.down = down
+	if fs.obs != nil {
+		v := 0.0
+		if down {
+			v = 1
+		}
+		fs.obs.Gauge("pfs/ost_down", obs.L("ost", fmt.Sprintf("ost-%d", i))).Set(v)
+	}
+}
+
+// OSTDown reports target i's outage state.
+func (fs *FS) OSTDown(i int) bool { return fs.osts[i].down }
+
+// SetOSTSlowdown divides target i's bandwidth by factor (a degraded
+// disk); factor <= 1 restores full speed. In-flight flows re-share the
+// new capacity immediately.
+func (fs *FS) SetOSTSlowdown(i int, factor float64) {
+	o := fs.osts[i]
+	if factor <= 1 {
+		o.disk.Capacity = o.baseBW
+	} else {
+		o.disk.Capacity = o.baseBW / factor
+	}
+	fs.k.RefreshRates()
+}
+
+// SetMDSLatencyFactor multiplies the metadata round-trip latency (an MDS
+// op-latency spike); factor <= 1 restores the configured value.
+func (fs *FS) SetMDSLatencyFactor(factor float64) {
+	if factor <= 1 {
+		fs.mds.Latency = fs.baseMDSLatency
+		return
+	}
+	fs.mds.Latency = fs.baseMDSLatency * factor
+}
+
+// countReadFault lands one observed read fault in the metrics (cold
+// path: only runs when a fault actually fires).
+func (fs *FS) countReadFault(kind string) {
+	if fs.obs != nil {
+		fs.obs.Counter("pfs/read_faults_total", obs.L("kind", kind)).Inc()
+	}
 }
 
 // OSTCount reports the number of object storage targets.
@@ -261,6 +332,39 @@ func (fs *FS) segments(f *File, off, n int64) ([]sim.Part, []*ost) {
 		parts = append(parts, sim.Part{Bytes: perOST[o], Res: []*sim.Resource{o.disk, o.oss.nic, fs.fabric}})
 	}
 	return parts, order
+}
+
+// segmentsLive is segments restricted to healthy targets: stripe pieces
+// landing on offline OSTs are returned as merged missing byte ranges
+// (file-absolute) instead of transfer legs, so the caller can zero-fill
+// and read around them.
+func (fs *FS) segmentsLive(f *File, off, n int64) ([]sim.Part, []*ost, []ioengine.Range) {
+	perOST := map[*ost]float64{}
+	var order []*ost
+	var missing []ioengine.Range
+	end := off + n
+	for cur := off; cur < end; {
+		idx := cur / f.StripeSize
+		stripeEnd := (idx + 1) * f.StripeSize
+		if stripeEnd > end {
+			stripeEnd = end
+		}
+		o := fs.ostFor(f, idx)
+		if o.down {
+			missing = append(missing, ioengine.Range{Off: cur, Len: stripeEnd - cur})
+		} else {
+			if _, seen := perOST[o]; !seen {
+				order = append(order, o)
+			}
+			perOST[o] += float64(stripeEnd - cur)
+		}
+		cur = stripeEnd
+	}
+	parts := make([]sim.Part, 0, len(order))
+	for _, o := range order {
+		parts = append(parts, sim.Part{Bytes: perOST[o], Res: []*sim.Resource{o.disk, o.oss.nic, fs.fabric}})
+	}
+	return parts, order, ioengine.Merge(missing)
 }
 
 // transferStriped runs the striped parallel transfer for parts while
@@ -367,23 +471,56 @@ func (c *Client) Create(p *sim.Proc, path string, stripeSize int64, stripeCount 
 
 // ReadAt reads n bytes at offset off, blocking in virtual time while the
 // per-OST segments stream in parallel over the storage fabric and the
-// client path. Short reads at EOF return what is available.
+// client path. Short reads at EOF return what is available. A range
+// touching an offline OST, an injected flaky read, or detected
+// corruption returns a transient fault error (see ReadAtParts for the
+// degraded-read variant that returns partial data instead).
 func (c *Client) ReadAt(p *sim.Proc, path string, off, n int64) ([]byte, error) {
+	out, missing, err := c.ReadAtParts(p, path, off, n)
+	if err != nil {
+		return nil, err
+	}
+	if len(missing) > 0 {
+		return nil, fault.Transient("ost-down",
+			"pfs: read %s [%d,+%d): %d byte range(s) on offline OSTs", path, off, n, len(missing))
+	}
+	return out, nil
+}
+
+// ReadAtParts is the degraded-read primitive behind ReadAt: it streams
+// every live per-OST segment and returns the assembled buffer plus the
+// file-absolute byte ranges that could not be served because their OSTs
+// are offline (those bytes are zero-filled in the buffer). Injected
+// flaky reads and detected corruption still fail the whole call with a
+// transient error. The PFS Reader's recovery loop re-requests only the
+// missing ranges after a backoff — the read-around path.
+func (c *Client) ReadAtParts(p *sim.Proc, path string, off, n int64) ([]byte, []ioengine.Range, error) {
 	f, ok := c.fs.files[path]
 	if !ok {
-		return nil, fmt.Errorf("pfs: read %s: no such file", path)
+		return nil, nil, fmt.Errorf("pfs: read %s: no such file", path)
 	}
 	if off < 0 {
-		return nil, fmt.Errorf("pfs: read %s: negative offset", path)
+		return nil, nil, fmt.Errorf("pfs: read %s: negative offset", path)
 	}
 	if off >= f.Size() {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if off+n > f.Size() {
 		n = f.Size() - off
 	}
+	corrupt := false
+	if c.fs.readFault != nil {
+		switch c.fs.readFault(path, off, n) {
+		case fault.Fail:
+			c.fs.countReadFault("flaky-read")
+			return nil, nil, fault.Transient("flaky-read",
+				"pfs: read %s [%d,+%d): transient I/O error", path, off, n)
+		case fault.Corrupt:
+			corrupt = true
+		}
+	}
 	done := c.fs.accessSpan(p, "pfs.ReadAt", path, off, n)
-	parts, osts := c.fs.segments(f, off, n)
+	parts, osts, missing := c.fs.segmentsLive(f, off, n)
 	for i := range parts {
 		parts[i].Res = append(parts[i].Res, c.path...)
 	}
@@ -391,7 +528,27 @@ func (c *Client) ReadAt(p *sim.Proc, path string, off, n int64) ([]byte, error) 
 	done()
 	out := make([]byte, n)
 	copy(out, f.data[off:off+n])
-	return out, nil
+	if corrupt && len(out) > 0 {
+		// Model on-the-wire corruption: damage the returned copy, then
+		// verify it against the stored bytes the way a block checksum
+		// would. The damaged copy never escapes — callers see a
+		// transient error and retry.
+		out[len(out)/2] ^= 0xFF
+		if crc32.ChecksumIEEE(out) != crc32.ChecksumIEEE(f.data[off:off+n]) {
+			c.fs.countReadFault("corrupt")
+			return nil, nil, fault.Transient("corrupt",
+				"pfs: read %s [%d,+%d): checksum mismatch", path, off, n)
+		}
+	}
+	for _, m := range missing {
+		for i := m.Off; i < m.End(); i++ {
+			out[i-off] = 0
+		}
+	}
+	if len(missing) > 0 {
+		c.fs.countReadFault("ost-down")
+	}
+	return out, missing, nil
 }
 
 // WriteAt writes data at offset off, extending the file with zeros if the

@@ -55,8 +55,13 @@ type Spec struct {
 	NumReducers int
 	// TaskStartup overrides the per-task launch cost.
 	TaskStartup float64
-	// MaxAttempts bounds task retries.
+	// MaxAttempts bounds task attempts (retries + speculative backups).
 	MaxAttempts int
+	// Faults is the engine's unified fault-injection point (the chaos
+	// injector, or a test stub); nil injects nothing.
+	Faults mapreduce.TaskFaults
+	// Speculation enables backup attempts for straggling map tasks.
+	Speculation mapreduce.Speculation
 }
 
 // MapReduce runs the job from the driver process p.
@@ -72,6 +77,8 @@ func MapReduce(p *sim.Proc, spec Spec) (*mapreduce.Result, error) {
 		NumReducers:  spec.NumReducers,
 		TaskStartup:  spec.TaskStartup,
 		MaxAttempts:  spec.MaxAttempts,
+		Faults:       spec.Faults,
+		Speculation:  spec.Speculation,
 		PairBytes:    PairBytes,
 		Map: func(tc *mapreduce.TaskContext, key string, value any) error {
 			return spec.Map(&Ctx{TC: tc}, key, value)

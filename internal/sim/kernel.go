@@ -104,6 +104,18 @@ func (k *Kernel) After(d float64, fn func()) {
 	k.schedule(k.now+d, fn)
 }
 
+// RefreshRates settles every in-flight flow at the current instant and
+// reassigns fair-share rates from the resources' *current* capacities.
+// Rates are normally recomputed only at flow-membership changes, which
+// re-read Capacity as a side effect; a caller that mutates a resource's
+// Capacity mid-flight (e.g. a fault injector degrading an OST) must call
+// this for the change to reach flows already in progress. Must be called
+// from kernel context (an event callback or a Proc body).
+func (k *Kernel) RefreshRates() {
+	k.settleFlows()
+	k.recomputeFlows()
+}
+
 // Run executes events until the queue drains. It panics with the original
 // value if any process panicked. Run may be called again after it returns
 // (e.g. after starting more processes).

@@ -18,8 +18,11 @@ package solutions
 import (
 	"fmt"
 
+	"scidp/internal/chaos"
 	"scidp/internal/cluster"
+	"scidp/internal/core"
 	"scidp/internal/hdfs"
+	"scidp/internal/mapreduce"
 	"scidp/internal/obs"
 	"scidp/internal/pfs"
 	"scidp/internal/scifmt"
@@ -100,6 +103,23 @@ type EnvConfig struct {
 	// timelines. Runs stay metric-free (and pay no overhead beyond a nil
 	// check) when it is nil.
 	Obs *obs.Registry
+	// Chaos, when non-nil, is the fault plan armed against this testbed:
+	// its scheduled rules become kernel events and its injector becomes
+	// every job's TaskFaults source.
+	Chaos *chaos.Plan
+	// Replication overrides the HDFS replica count (0 keeps the default
+	// of 1; raise it so DataNode crashes leave survivors to fail over
+	// to).
+	Replication int
+	// MaxAttempts bounds task attempts for every job run in this env
+	// (0 keeps the engine default of 1 — no retry).
+	MaxAttempts int
+	// Speculation is the map-task backup policy for every job in this
+	// env (zero disables).
+	Speculation mapreduce.Speculation
+	// ReadRetry is the PFS Reader recovery policy handed to SciDP input
+	// formats (zero = fail fast).
+	ReadRetry core.RetryPolicy
 }
 
 // DefaultEnvConfig mirrors the paper's 8-node testbed at the given scale
@@ -137,6 +157,20 @@ type Env struct {
 	// feed it to Tracer.ExportResourceMetrics after K.Run for the
 	// per-resource utilization series.
 	Tracer *sim.Tracer
+	// Chaos is the armed fault injector (nil when no plan was given).
+	// It doubles as every job's TaskFaults source via Faults().
+	Chaos *chaos.Injector
+}
+
+// Faults returns the env's TaskFaults source for MapReduce jobs — the
+// chaos injector when a plan is armed, nil otherwise. (A nil *Injector
+// would satisfy the interface but still be inert; returning a typed nil
+// into an interface field is avoided for clarity.)
+func (e *Env) Faults() mapreduce.TaskFaults {
+	if e.Chaos == nil {
+		return nil
+	}
+	return e.Chaos
 }
 
 // NewEnv builds the testbed: an 8-node (by default) Hadoop cluster with
@@ -170,6 +204,9 @@ func NewEnv(cfg EnvConfig) *Env {
 	if hcfg.BlockSize < 1024 {
 		hcfg.BlockSize = 1024
 	}
+	if cfg.Replication > 0 {
+		hcfg.Replication = cfg.Replication
+	}
 	hfs := hdfs.New(k, bd, hcfg)
 	il := cluster.NewInterlink(2*1.25e9/cfg.ByteScale, 0.0002)
 	env := &Env{
@@ -188,6 +225,10 @@ func NewEnv(cfg EnvConfig) *Env {
 		hfs.SetObs(cfg.Obs)
 		env.Tracer = &sim.Tracer{}
 		k.SetTracer(env.Tracer)
+	}
+	if cfg.Chaos != nil {
+		env.Chaos = chaos.New(cfg.Chaos)
+		env.Chaos.Arm(k, pfsFS, hfs, cfg.Obs)
 	}
 	return env
 }

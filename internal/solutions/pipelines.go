@@ -124,6 +124,8 @@ func distcp(p *sim.Proc, env *Env, files []string, dstDir string) ([]string, int
 		SlotsPerNode: env.Cfg.SlotsPerNode,
 		Obs:          env.Obs,
 		TaskStartup:  env.Cfg.Cost.TaskStartup,
+		MaxAttempts:  env.Cfg.MaxAttempts,
+		Faults:       env.Faults(),
 		Input:        staticInput(splits),
 		Map: func(tc *mapreduce.TaskContext, key string, value any) error {
 			i := value.(int)
@@ -307,7 +309,7 @@ func RunPortHadoop(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
 	}
 	input := &core.InputFormat{
 		HDFS: env.HDFS, Dir: mapping.Root, Registry: env.Registry, MountFor: env.Mount,
-		Obs: env.Obs,
+		Obs: env.Obs, Retry: env.Cfg.ReadRetry,
 	}
 	res, stats, err := runProcessing(p, env, wl, "porthadoop", input,
 		func(tc *mapreduce.TaskContext, key string, value any) (*grid, error) {
@@ -423,6 +425,7 @@ func RunSciDPWith(p *sim.Proc, env *Env, wl *Workload, opts SciDPOptions) (*Repo
 		Engine: opts.Engine,
 		Caches: opts.Caches,
 		Obs:    env.Obs,
+		Retry:  env.Cfg.ReadRetry,
 	}
 	res, stats, err := runProcessing(p, env, wl, name, input,
 		func(tc *mapreduce.TaskContext, key string, value any) (*grid, error) {
@@ -469,7 +472,7 @@ func RunSciDPStaged(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
 	input := &core.InputFormat{
 		HDFS: env.HDFS, Dir: mapping.Root, Registry: env.Registry, MountFor: env.Mount,
 		Cost: core.CostModel{DecompressPerRawMB: env.Cfg.Cost.DecompressPerMB * env.Cfg.ByteScale},
-		Obs:  env.Obs,
+		Obs:  env.Obs, Retry: env.Cfg.ReadRetry,
 	}
 	type stagedSlab struct {
 		label string

@@ -235,6 +235,9 @@ func runProcessing(p *sim.Proc, env *Env, wl *Workload, name string, input mapre
 		Input:        input,
 		TaskStartup:  env.Cfg.Cost.TaskStartup,
 		NumReducers:  env.Cfg.Nodes,
+		MaxAttempts:  env.Cfg.MaxAttempts,
+		Faults:       env.Faults(),
+		Speculation:  env.Cfg.Speculation,
 		PairBytes: func(kv mapreduce.KV) int64 {
 			switch v := kv.V.(type) {
 			case imgKV:
