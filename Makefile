@@ -3,7 +3,8 @@ GO ?= go
 .PHONY: check fmt vet build test race bench bench-paper obs-smoke chaos-smoke
 
 # check is the CI gate: formatting, vet, build, full tests, the race
-# detector on the packages with real goroutine concurrency, and the
+# detector across the whole module (the data-plane compute pool makes
+# real goroutine concurrency reachable from every package), and the
 # observability and chaos smoke tests.
 check: fmt vet build test race obs-smoke chaos-smoke
 
@@ -21,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim ./internal/ioengine ./internal/core ./internal/mapreduce ./internal/chaos
+	$(GO) test -race ./...
 
 # bench is the benchmark smoke test: every Benchmark* runs once with
 # allocation stats; a failing benchmark (b.Fatal/b.Error) fails the target.

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|faults|ablations|ioengine]
+//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|faults|parallel|ablations|ioengine]
 //	            [-quick] [-trace out.json] [-metrics out.prom] [-json out.json]
 //
 // -quick runs a reduced geometry and smaller sweeps (seconds instead of
@@ -12,9 +12,10 @@
 // every simulated run (open in Perfetto / chrome://tracing); -metrics
 // writes a Prometheus-style text dump of the component metrics. Either
 // flag attaches the observability registry; without them runs are
-// instrumentation-free. -json writes the faults experiment's
-// machine-readable result (goodput/JCT sweep, digests, recovery
-// counters) — the BENCH_faults.json artifact.
+// instrumentation-free. -json writes the selected experiment's
+// machine-readable result (the BENCH_faults.json / BENCH_parallel.json
+// artifacts: goodput/JCT sweeps, digests, recovery counters, worker
+// sweep wall-clocks).
 package main
 
 import (
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, workflow, ablations, ioengine)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine)")
 	quick := flag.Bool("quick", false, "reduced geometry and sweep sizes")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the simulated runs to this file")
@@ -55,6 +56,7 @@ func main() {
 	wfSize, wfCompute := 192, 120.0
 	faultsSize := 24
 	faultsRates := []float64{0.05, 0.1, 0.2}
+	parallelSize, parallelReps := 24, 3
 	if *quick {
 		scale = bench.QuickScale()
 		fig5Sizes = []int{8, 16}
@@ -67,6 +69,7 @@ func main() {
 		wfSize, wfCompute = 8, 30.0
 		faultsSize = 16
 		faultsRates = []float64{0.1}
+		parallelSize, parallelReps = 16, 2
 	}
 
 	emit := func(t *bench.Table, err error) {
@@ -133,7 +136,18 @@ func main() {
 		}
 		emit(t, nil)
 		if *jsonPath != "" {
-			writeFaultsJSON(*jsonPath, fr)
+			writeJSON(*jsonPath, fr)
+		}
+		ran = true
+	}
+	if want("parallel") {
+		t, pr, err := bench.RunParallel(scale, parallelSize, parallelReps)
+		if err != nil {
+			emit(nil, err)
+		}
+		emit(t, nil)
+		if *jsonPath != "" {
+			writeJSON(*jsonPath, pr)
 		}
 		ran = true
 	}
@@ -153,7 +167,7 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, workflow, ablations, ioengine)\n", *exp)
+		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine)\n", *exp)
 		os.Exit(2)
 	}
 
@@ -165,9 +179,9 @@ func main() {
 	}
 }
 
-// writeFaultsJSON records the faults sweep's machine-readable result.
-func writeFaultsJSON(path string, fr *bench.FaultsResult) {
-	data, err := json.MarshalIndent(fr, "", "  ")
+// writeJSON records an experiment's machine-readable result.
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err == nil {
 		err = os.WriteFile(path, append(data, '\n'), 0o644)
 	}

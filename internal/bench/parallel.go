@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"scidp/internal/obs"
+	"scidp/internal/sim"
+	"scidp/internal/solutions"
+	"scidp/internal/workloads"
+)
+
+// ParallelRun is one worker-count sweep point: the SciDP pipeline run
+// with a data-plane compute pool of that size, timed on the real clock.
+type ParallelRun struct {
+	// Workers is the data-plane pool size for this point.
+	Workers int `json:"workers"`
+	// WallSeconds is the best real wall-clock over the repetitions.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Speedup is wall(workers=1) / wall(this), from the best times.
+	Speedup float64 `json:"speedup_vs_workers_1"`
+	// JCTSeconds is the virtual job completion time — identical across
+	// worker counts by the two-plane determinism guarantee.
+	JCTSeconds float64 `json:"jct_seconds"`
+	// OutputDigest is the sha256 over the sorted audited output files.
+	OutputDigest string `json:"output_digest"`
+	// ExportDigest is the sha256 over the Chrome-trace and Prometheus
+	// exports of the run's private registry.
+	ExportDigest string `json:"export_digest"`
+	// MatchesReference reports whether both digests are byte-identical
+	// to the workers=1 reference run's.
+	MatchesReference bool `json:"matches_reference"`
+	// Deterministic reports whether every repetition at this worker
+	// count reproduced both digests byte-for-byte.
+	Deterministic bool `json:"deterministic"`
+}
+
+// ParallelResult is the `-exp parallel` experiment's machine-readable
+// output (what BENCH_parallel.json records).
+type ParallelResult struct {
+	// Solution is the data path under test.
+	Solution string `json:"solution"`
+	// Timestamps sizes the dataset (one map task per timestamp).
+	Timestamps int `json:"timestamps"`
+	// GOMAXPROCS is the Go scheduler's processor count during the sweep
+	// — the ceiling on real data-plane parallelism. Wall-clock speedup
+	// beyond it is not physically possible.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Reps is how many times each point ran (best wall time reported).
+	Reps int `json:"reps"`
+	// Runs are the sweep points in ascending worker order.
+	Runs []ParallelRun `json:"runs"`
+}
+
+// parallelOutcome is one execution's raw measurements.
+type parallelOutcome struct {
+	wall         float64
+	jct          float64
+	outputDigest string
+	exportDigest string
+}
+
+// parallelOneRun executes the SciDP pipeline once with a data-plane
+// pool of the given size on a fresh fault-free testbed, timing the
+// kernel run (where all simulated and data-plane work happens) on the
+// real clock, then audits the output digest and export digest exactly
+// as the faults experiment does.
+func parallelOneRun(s Scale, timestamps, workers int) (*parallelOutcome, error) {
+	blobs, ds, err := dataset(s, timestamps)
+	if err != nil {
+		return nil, err
+	}
+	// One fixed process label for every point: the exports must be
+	// byte-identical across worker counts, so the count cannot appear
+	// in any exported string.
+	reg := obs.New()
+	reg.SetProcess("parallel-sweep")
+	cfg := s.EnvConfig(4)
+	cfg.SlotsPerNode = 2
+	cfg.Obs = reg
+	cfg.Workers = workers
+	env := solutions.NewEnv(cfg)
+	defer env.Close()
+	workloads.Install(env.PFS, blobs)
+	wl := &solutions.Workload{Dataset: ds, Var: "QR", Analysis: solutions.AnalysisNone}
+
+	out := &parallelOutcome{}
+	var rep *solutions.Report
+	var runErr error
+	env.K.Go("driver", func(p *sim.Proc) {
+		rep, runErr = solutions.RunSciDP(p, env, wl)
+		if runErr != nil {
+			return
+		}
+		out.outputDigest, _, runErr = auditDigest(p, env, "/results/scidp")
+	})
+	start := time.Now()
+	env.K.Run()
+	out.wall = time.Since(start).Seconds()
+	env.ExportSimMetrics()
+	if runErr != nil {
+		return nil, fmt.Errorf("parallel run workers=%d: %w", workers, runErr)
+	}
+	out.jct = rep.TotalSeconds
+	if out.exportDigest, err = exportDigest(reg); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParallelWorkerCounts is the sweep: 1, 2, 4, and GOMAXPROCS when it
+// exceeds 4. Counts above the core count still run (and still produce
+// identical bytes — determinism never depends on the count); they just
+// cannot go faster.
+func ParallelWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// RunParallel sweeps the SciDP pipeline across data-plane worker counts.
+// Every point runs reps times: the best wall-clock is the measurement,
+// and all repetitions plus the workers=1 reference must agree on the
+// output digest and the observability export digest — the two-plane
+// executor's worker-count invariance, checked end to end on the full
+// pipeline.
+func RunParallel(s Scale, timestamps, reps int) (*Table, *ParallelResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	res := &ParallelResult{
+		Solution:   "scidp",
+		Timestamps: timestamps,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+	}
+	var ref *parallelOutcome
+	for _, w := range ParallelWorkerCounts() {
+		var best *parallelOutcome
+		deterministic := true
+		for r := 0; r < reps; r++ {
+			out, err := parallelOneRun(s, timestamps, w)
+			if err != nil {
+				return nil, nil, err
+			}
+			if best == nil {
+				best = out
+			} else {
+				if out.outputDigest != best.outputDigest || out.exportDigest != best.exportDigest {
+					deterministic = false
+				}
+				if out.wall < best.wall {
+					best.wall = out.wall
+				}
+			}
+		}
+		if ref == nil {
+			ref = best
+		}
+		pr := ParallelRun{
+			Workers:       w,
+			WallSeconds:   best.wall,
+			JCTSeconds:    best.jct,
+			OutputDigest:  best.outputDigest,
+			ExportDigest:  best.exportDigest,
+			Deterministic: deterministic,
+			MatchesReference: best.outputDigest == ref.outputDigest &&
+				best.exportDigest == ref.exportDigest,
+		}
+		if best.wall > 0 {
+			pr.Speedup = ref.wall / best.wall
+		}
+		res.Runs = append(res.Runs, pr)
+	}
+
+	t := &Table{
+		ID:    "Parallel",
+		Title: "Two-plane executor: real wall-clock vs. data-plane worker count (virtual results invariant)",
+		Header: []string{"workers", "wall (s)", "speedup", "JCT (virtual s)",
+			"matches workers=1", "deterministic"},
+		Notes: []string{
+			fmt.Sprintf("GOMAXPROCS=%d; wall-clock speedup tracks physical cores — on a single-core host all counts land within noise of each other by design", res.GOMAXPROCS),
+			fmt.Sprintf("each point runs %d time(s); best wall-clock reported; virtual JCT, output digest, and export digest must be identical at every worker count", reps),
+			fmt.Sprintf("testbed: 4 nodes x 2 slots, %d timestamps, fault-free", timestamps),
+		},
+	}
+	for _, pr := range res.Runs {
+		t.AddRow(
+			fmt.Sprintf("%d", pr.Workers),
+			fmt.Sprintf("%.3f", pr.WallSeconds),
+			ratio(pr.Speedup),
+			secs(pr.JCTSeconds),
+			fmt.Sprintf("%v", pr.MatchesReference),
+			fmt.Sprintf("%v", pr.Deterministic),
+		)
+	}
+	return t, res, nil
+}

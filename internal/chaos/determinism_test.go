@@ -37,7 +37,9 @@ const testPlan = `{
 // chaosRun is one full pipeline execution under a plan on a fresh
 // recovery-enabled testbed: it returns the sha256 over every /results
 // file (read back in sorted order) and the raw export byte streams.
-func chaosRun(t *testing.T, solution string, plan *chaos.Plan) (digest string, trace, prom []byte) {
+// workers sizes the data-plane compute pool (0 = no data plane, the
+// pre-two-plane engine).
+func chaosRun(t *testing.T, solution string, plan *chaos.Plan, workers int) (digest string, trace, prom []byte) {
 	t.Helper()
 	s := bench.QuickScale()
 	cfg := bench.FaultsEnvConfig(s)
@@ -45,7 +47,9 @@ func chaosRun(t *testing.T, solution string, plan *chaos.Plan) (digest string, t
 	reg.SetProcess("chaos-test-" + solution)
 	cfg.Obs = reg
 	cfg.Chaos = plan
+	cfg.Workers = workers
 	env := solutions.NewEnv(cfg)
+	defer env.Close()
 	ds, err := workloads.Generate(env.PFS, s.Spec(16))
 	if err != nil {
 		t.Fatal(err)
@@ -123,8 +127,8 @@ func TestDeterminismUnderChaos(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			d1, trace1, prom1 := chaosRun(t, solution, plan)
-			d2, trace2, prom2 := chaosRun(t, solution, plan)
+			d1, trace1, prom1 := chaosRun(t, solution, plan, 0)
+			d2, trace2, prom2 := chaosRun(t, solution, plan, 0)
 			if d1 != d2 {
 				t.Errorf("output digests differ across same-seed runs: %s vs %s", d1, d2)
 			}
@@ -137,9 +141,51 @@ func TestDeterminismUnderChaos(t *testing.T) {
 
 			// The fault-free run must produce the same output bytes: the
 			// chaos plan may only cost time, never change results.
-			clean, _, _ := chaosRun(t, solution, nil)
+			clean, _, _ := chaosRun(t, solution, nil, 0)
 			if clean != d1 {
 				t.Errorf("output under chaos differs from fault-free output: %s vs %s", d1, clean)
+			}
+		})
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts extends the headline guarantee to
+// the two-plane executor: with the data plane enabled, the worker count
+// is invisible — workers=1 and workers=4 produce byte-identical output
+// digests and observability exports, with and without a chaos plan, and
+// two same-seed runs at workers=4 are byte-identical too.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	plan, err := chaos.ParsePlan([]byte(testPlan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		plan *chaos.Plan
+	}{
+		{"chaos", plan},
+		{"clean", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d1, trace1, prom1 := chaosRun(t, "scidp", tc.plan, 1)
+			d4, trace4, prom4 := chaosRun(t, "scidp", tc.plan, 4)
+			if d1 != d4 {
+				t.Errorf("output digests differ across worker counts: %s vs %s", d1, d4)
+			}
+			if !bytes.Equal(trace1, trace4) {
+				t.Error("Chrome-trace exports differ across worker counts")
+			}
+			if !bytes.Equal(prom1, prom4) {
+				t.Error("Prometheus exports differ across worker counts")
+			}
+			// Same-seed repeat at workers=4: pooled runs are also
+			// reproducible against themselves, not just against workers=1.
+			d4b, trace4b, prom4b := chaosRun(t, "scidp", tc.plan, 4)
+			if d4 != d4b {
+				t.Errorf("workers=4 digests differ across same-seed runs: %s vs %s", d4, d4b)
+			}
+			if !bytes.Equal(trace4, trace4b) || !bytes.Equal(prom4, prom4b) {
+				t.Error("workers=4 exports differ across same-seed runs")
 			}
 		})
 	}

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"scidp/internal/ioengine"
+	"scidp/internal/sim"
 )
 
 // Magic is the 4-byte file signature.
@@ -524,15 +525,25 @@ func (f *File) ReadRows(d *Dataset, start, count int) ([]byte, error) {
 		plan[i] = ioengine.Range{Off: c.Offset, Len: c.StoredSize}
 	}
 	ioengine.Announce(f.r, plan)
+	// Row ranges of distinct chunks are disjoint, so each assembly copy
+	// forks onto the data plane and all join after the last fetch.
+	var futs []*sim.Future
 	for _, c := range touched {
 		raw, err := f.readChunk(d, c)
 		if err != nil {
+			ioengine.Join(f.r, futs...)
 			return nil, err
 		}
 		lo := max(start, c.RowStart)
 		hi := min(start+count, c.RowStart+c.Rows)
-		copy(out[int64(lo-start)*rb:int64(hi-start)*rb], raw[int64(lo-c.RowStart)*rb:int64(hi-c.RowStart)*rb])
+		c, raw := c, raw
+		if fut := ioengine.Fork(f.r, func() {
+			copy(out[int64(lo-start)*rb:int64(hi-start)*rb], raw[int64(lo-c.RowStart)*rb:int64(hi-c.RowStart)*rb])
+		}); fut != nil {
+			futs = append(futs, fut)
+		}
 	}
+	ioengine.Join(f.r, futs...)
 	return out, nil
 }
 

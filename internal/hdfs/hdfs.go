@@ -301,13 +301,19 @@ func (fs *FS) readReplica(p *sim.Proc, reader *cluster.Node, b *Block, bytes flo
 
 // checksumCopy models a corrupt-on-the-wire read of data: the returned
 // copy is damaged, the block checksum detects it, and a transient error
-// surfaces instead of bad bytes.
-func (fs *FS) checksumCopy(b *Block, data []byte) error {
-	out := append([]byte(nil), data...)
-	if len(out) > 0 {
-		out[len(out)/2] ^= 0xFF
-	}
-	if crc32.ChecksumIEEE(out) != crc32.ChecksumIEEE(data) {
+// surfaces instead of bad bytes. The copy + double crc32 is pure byte
+// work and runs on the data plane; the fault counter and the error stay
+// on the kernel thread so injection accounting remains deterministic.
+func (fs *FS) checksumCopy(p *sim.Proc, b *Block, data []byte) error {
+	var mismatch bool
+	p.Await(p.Compute(func() {
+		out := append([]byte(nil), data...)
+		if len(out) > 0 {
+			out[len(out)/2] ^= 0xFF
+		}
+		mismatch = crc32.ChecksumIEEE(out) != crc32.ChecksumIEEE(data)
+	}))
+	if mismatch {
 		if fs.obs != nil {
 			fs.obs.Counter("hdfs/read_faults_total", obs.L("kind", "corrupt")).Inc()
 		}
@@ -632,7 +638,7 @@ func (fs *FS) ReadBlock(p *sim.Proc, reader *cluster.Node, b *Block) ([]byte, er
 		return nil, err
 	}
 	if corrupt {
-		if err := fs.checksumCopy(b, b.data); err != nil {
+		if err := fs.checksumCopy(p, b, b.data); err != nil {
 			return nil, err
 		}
 	}
@@ -682,7 +688,7 @@ func (fs *FS) ReadAt(p *sim.Proc, reader *cluster.Node, path string, off, n int6
 		}
 		slice := b.data[piece.Off-ext.Off : piece.End()-ext.Off]
 		if corrupt {
-			if err := fs.checksumCopy(b, slice); err != nil {
+			if err := fs.checksumCopy(p, b, slice); err != nil {
 				return nil, err
 			}
 		}

@@ -2,7 +2,6 @@ package ioengine
 
 import (
 	"container/list"
-	"hash/fnv"
 	"sync"
 )
 
@@ -46,13 +45,16 @@ func (s CacheStats) Sub(prev CacheStats) CacheStats {
 // A budget <= 0 means unbounded. Values are shared, not copied: callers
 // must treat returned slices as read-only.
 //
-// Concurrency contract: in simulation use, every Get/Put happens from
-// sim-process context, which the kernel serializes — the per-shard
-// mutexes are then uncontended and the hit/miss/eviction counters are
-// deterministic (concurrency_test.go checks this under -race). The
-// mutexes exist so that non-simulated callers (tests, tools reading
-// Stats while a kernel runs in another goroutine) stay memory-safe;
-// they do not make counter *ordering* deterministic outside the kernel.
+// Concurrency contract: the cache is safe for concurrent use from any
+// goroutine — each shard is guarded by its own mutex, and the counters
+// live under the same locks, so Stats is always a coherent snapshot.
+// Determinism of the counter *values*, however, is a property of the
+// caller: the simulation keeps every Get/Put on the kernel thread, in
+// event order (data-plane closures never touch the cache — see the sim
+// package's two-plane contract), which is what keeps hit/miss counts
+// and the Prometheus export byte-identical run to run. Callers outside
+// a kernel get thread safety, not reproducible counter interleavings.
+// Both properties are exercised under -race in concurrency_test.go.
 type Cache struct {
 	shards [cacheShards]cacheShard
 }
@@ -93,10 +95,15 @@ func NewCache(budget int64) *Cache {
 	return c
 }
 
+// shard routes a key to its shard with an inline FNV-1a (no allocation,
+// unlike hash/fnv's heap-allocated state).
 func (c *Cache) shard(key string) *cacheShard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &c.shards[h.Sum32()%cacheShards]
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
 }
 
 // Get returns the cached value for key, counting a hit or miss and

@@ -2,6 +2,7 @@ package ioengine
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"scidp/internal/obs"
@@ -9,18 +10,27 @@ import (
 )
 
 // These tests pin the package's concurrency contract: Stats, Trace,
-// Bound, and the cache counters are mutated only from sim-process
-// context, and the kernel runs exactly one process at a time — so plain
-// unsynchronized ints are race-free and deterministic. `make race` runs
-// this package under the race detector; a violation of the contract
-// (e.g. a future change reading b.r from a real goroutine) shows up
-// here as a detected race or as a counter divergence between runs.
+// Bound, and the cache counters are mutated only from kernel context —
+// chunk decodes offload to the data plane, but every cache Get/Put and
+// counter increment stays on the kernel thread in event order — so the
+// totals are race-free and deterministic at any worker count. The Cache
+// itself is additionally safe for arbitrary concurrent use (per-shard
+// mutexes); TestCacheConcurrentAccess hammers that from real
+// goroutines. `make race` runs this package under the race detector; a
+// contract violation shows up here as a detected race or as a counter
+// divergence between runs.
 
 // contendedRun drives many processes through one shared Trace, Cache,
 // and prefetching Bound on a single kernel, and returns the final
-// counter values.
-func contendedRun(procs, chunks int) (Trace, CacheStats, float64, float64) {
+// counter values. workers < 0 runs without a data plane; otherwise a
+// pool of that size decodes the chunks.
+func contendedRun(procs, chunks, workers int) (Trace, CacheStats, float64, float64) {
 	k := sim.NewKernel()
+	if workers >= 0 {
+		pool := sim.NewComputePool(workers)
+		defer pool.Close()
+		k.SetComputePool(pool)
+	}
 	reg := obs.New()
 	k.SetObs(reg)
 	const chunkSz = 64
@@ -54,8 +64,8 @@ func contendedRun(procs, chunks int) (Trace, CacheStats, float64, float64) {
 }
 
 func TestCountersDeterministicUnderKernelConcurrency(t *testing.T) {
-	tr1, cs1, h1, m1 := contendedRun(8, 16)
-	tr2, cs2, h2, m2 := contendedRun(8, 16)
+	tr1, cs1, h1, m1 := contendedRun(8, 16, -1)
+	tr2, cs2, h2, m2 := contendedRun(8, 16, -1)
 	if tr1 != tr2 {
 		t.Fatalf("Trace counters diverged: %+v vs %+v", tr1, tr2)
 	}
@@ -103,5 +113,64 @@ func TestStatsDeterministicAcrossInterleavedProcs(t *testing.T) {
 	}
 	if a1.Calls != 10 || a1.BytesRead != 640 || b1.Calls != 7 || b1.BytesRead != 896 {
 		t.Fatalf("unexpected totals: %+v %+v", a1, b1)
+	}
+}
+
+// TestCountersDeterministicAcrossWorkerCounts re-runs the contended
+// read mix through the two-plane engine: chunk decodes offload to the
+// pool, yet every counter — trace, cache, registry — must match between
+// one worker and many.
+func TestCountersDeterministicAcrossWorkerCounts(t *testing.T) {
+	tr1, cs1, h1, m1 := contendedRun(8, 16, 1)
+	tr2, cs2, h2, m2 := contendedRun(8, 16, 8)
+	if tr1 != tr2 {
+		t.Fatalf("Trace counters diverged across worker counts: %+v vs %+v", tr1, tr2)
+	}
+	if cs1 != cs2 {
+		t.Fatalf("cache counters diverged across worker counts: %+v vs %+v", cs1, cs2)
+	}
+	if h1 != h2 || m1 != m2 {
+		t.Fatalf("registry counters diverged: hit %v/%v miss %v/%v", h1, h2, m1, m2)
+	}
+	if h1+m1 != 8*16 {
+		t.Fatalf("chunk reads = %v, want %v", h1+m1, 8*16)
+	}
+}
+
+// TestCacheConcurrentAccess hammers one cache from real goroutines with
+// overlapping keys — the thread-safety half of the cache contract. Run
+// under -race this validates the per-shard locking; the final snapshot
+// must be internally consistent regardless of interleaving.
+func TestCacheConcurrentAccess(t *testing.T) {
+	cache := NewCache(1 << 16)
+	const goroutines, ops, keys = 8, 2000, 64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val := make([]byte, 128)
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("chunk-%d", (g*31+i)%keys)
+				switch i % 3 {
+				case 0:
+					cache.Put(key, val)
+				case 1:
+					cache.Get(key)
+				default:
+					cache.contains(key)
+				}
+			}
+			cache.Stats()
+		}()
+	}
+	wg.Wait()
+	s := cache.Stats()
+	if s.Hits+s.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+	if s.Entries < 0 || s.Bytes < 0 || s.Bytes != s.Entries*128 {
+		t.Fatalf("inconsistent final snapshot: %+v", s)
 	}
 }

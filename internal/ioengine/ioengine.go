@@ -133,6 +133,37 @@ func ReadChunk(r Source, off, stored int64, decode func(raw []byte) ([]byte, err
 	return decode(raw)
 }
 
+// Offloader is the optional Source extension a format plugin probes for
+// to fork pure assembly work (hyperslab scatter copies, row-chunk
+// assembly) onto the simulation's data plane. Bound implements it via
+// its process; plain sources run the work inline.
+type Offloader interface {
+	// Fork submits fn to the data plane and returns its join handle
+	// (nil when no pool is attached — fn already ran inline).
+	Fork(fn func()) *sim.Future
+	// Join blocks until every non-nil future has resolved.
+	Join(futs ...*sim.Future)
+}
+
+// Fork runs fn on r's data plane when r supports offloading; otherwise
+// inline, returning nil. Anything fn writes must not be read before the
+// matching Join.
+func Fork(r Source, fn func()) *sim.Future {
+	if o, ok := r.(Offloader); ok {
+		return o.Fork(fn)
+	}
+	fn()
+	return nil
+}
+
+// Join waits for futures forked from r. Safe with nil entries and on
+// sources without offload support.
+func Join(r Source, futs ...*sim.Future) {
+	if o, ok := r.(Offloader); ok {
+		o.Join(futs...)
+	}
+}
+
 // Planner is the optional Source extension a format plugin uses to
 // announce the chunk ranges an upcoming slab read will touch, in read
 // order — the prefetcher's readahead plan.
@@ -221,6 +252,12 @@ func (b *Bound) ReadAt(off, n int64) ([]byte, error) {
 	return b.r.ReadAt(b.p, off, n)
 }
 
+// Fork implements Offloader on the bound process.
+func (b *Bound) Fork(fn func()) *sim.Future { return b.p.Compute(fn) }
+
+// Join implements Offloader on the bound process.
+func (b *Bound) Join(futs ...*sim.Future) { b.p.Await(futs...) }
+
 // Announce implements Planner and kicks off the first readahead window.
 func (b *Bound) Announce(plan []Range) {
 	b.plan = plan
@@ -246,9 +283,15 @@ func (b *Bound) ReadChunk(off, stored int64, decode func(raw []byte) ([]byte, er
 	if err != nil {
 		return nil, err
 	}
-	out, err := decode(raw)
-	if err != nil {
-		return nil, err
+	// Decode on the data plane: the closure is pure (validation +
+	// decompression of private bytes), so it may overlap decodes from
+	// other tasks parked at the same virtual instant. Cache Get/Put stay
+	// on the kernel thread, keeping the hit/miss counters deterministic.
+	var out []byte
+	var derr error
+	b.p.Await(b.p.Compute(func() { out, derr = decode(raw) }))
+	if derr != nil {
+		return nil, derr
 	}
 	if b.cache != nil {
 		b.cache.Put(dkey, out)

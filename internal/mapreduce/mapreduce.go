@@ -254,6 +254,18 @@ func (tc *TaskContext) Charge(phase string, d float64) {
 	tc.addPhase(phase, d)
 }
 
+// Compute runs fn on the kernel's data plane (sim.ComputePool) and
+// blocks the task — in real time only, zero virtual time — until it
+// returns. Use it around the pure byte work of a map or reduce function
+// (parsing, scanning, sorting); model the work's cost separately with
+// Charge. fn must not call Charge, Phase, or any simulation API, and
+// must not touch state shared with other tasks. Emit and Counter are
+// safe inside fn because the task itself stays parked until fn returns.
+// Without a pool on the kernel, fn runs inline — same result, serially.
+func (tc *TaskContext) Compute(fn func()) {
+	tc.proc.Await(tc.proc.Compute(fn))
+}
+
 // Phase runs fn and attributes its virtual duration to the named phase —
 // use it around I/O so transfer time lands in the right bucket.
 func (tc *TaskContext) Phase(name string, fn func()) {
@@ -332,41 +344,98 @@ type task struct {
 // Workers that find only remote-preferring tasks back off briefly before
 // stealing (delay scheduling), so locality holds whenever local slots
 // exist without risking starvation when they do not.
+//
+// Entries are indexed per preferred host, so pickLocal is O(1) amortized
+// instead of a scan of the whole queue (hot at large task counts). Each
+// push wraps the task in a qnode stamped with a FIFO sequence number;
+// taking a node marks it consumed in every list that references it, and
+// heads are trimmed lazily. Selection order is identical to the old
+// first-match scan: the live candidate with the lowest sequence wins.
 type localityQueue struct {
-	tasks []*task
+	seq    uint64
+	live   int
+	fifo   []*qnode            // every live node, FIFO — pickAny's view
+	byHost map[string][]*qnode // nodes preferring each host
+	noPref []*qnode            // nodes with no preference, eligible anywhere
 }
 
-// pickLocal removes and returns a task that prefers nodeName or has no
-// preference at all; nil when every queued task prefers another node.
-func (q *localityQueue) pickLocal(nodeName string) *task {
-	for i, t := range q.tasks {
-		if len(t.locs) == 0 {
-			q.tasks = append(q.tasks[:i], q.tasks[i+1:]...)
-			return t
-		}
-		for _, l := range t.locs {
-			if l == nodeName {
-				q.tasks = append(q.tasks[:i], q.tasks[i+1:]...)
-				return t
-			}
-		}
+// qnode is one queued task entry. A task requeued after a failure (or
+// for a speculative backup) gets a fresh qnode with a fresh sequence.
+type qnode struct {
+	t     *task
+	seq   uint64
+	taken bool
+}
+
+func newLocalityQueue() *localityQueue {
+	return &localityQueue{byHost: map[string][]*qnode{}}
+}
+
+// qhead trims consumed entries off the list's front and returns the
+// trimmed list plus its first live entry (nil when none remain).
+func qhead(list []*qnode) ([]*qnode, *qnode) {
+	for len(list) > 0 && list[0].taken {
+		list = list[1:]
 	}
-	return nil
+	if len(list) == 0 {
+		return list, nil
+	}
+	return list, list[0]
+}
+
+// take consumes n everywhere it is indexed and returns its task.
+func (q *localityQueue) take(n *qnode) *task {
+	n.taken = true
+	q.live--
+	return n.t
+}
+
+// pickLocal removes and returns the earliest-queued task that prefers
+// nodeName or has no preference at all; nil when every queued task
+// prefers another node.
+func (q *localityQueue) pickLocal(nodeName string) *task {
+	var hn, nn *qnode
+	q.byHost[nodeName], hn = qhead(q.byHost[nodeName])
+	q.noPref, nn = qhead(q.noPref)
+	switch {
+	case hn == nil && nn == nil:
+		return nil
+	case hn == nil:
+		return q.take(nn)
+	case nn == nil:
+		return q.take(hn)
+	case nn.seq < hn.seq:
+		return q.take(nn)
+	default:
+		return q.take(hn)
+	}
 }
 
 // pickAny removes and returns the head task regardless of preference.
 func (q *localityQueue) pickAny() *task {
-	if len(q.tasks) == 0 {
+	var n *qnode
+	q.fifo, n = qhead(q.fifo)
+	if n == nil {
 		return nil
 	}
-	t := q.tasks[0]
-	q.tasks = q.tasks[1:]
-	return t
+	return q.take(n)
 }
 
-func (q *localityQueue) empty() bool { return len(q.tasks) == 0 }
+func (q *localityQueue) empty() bool { return q.live == 0 }
 
-func (q *localityQueue) push(t *task) { q.tasks = append(q.tasks, t) }
+func (q *localityQueue) push(t *task) {
+	q.seq++
+	n := &qnode{t: t, seq: q.seq}
+	q.fifo = append(q.fifo, n)
+	if len(t.locs) == 0 {
+		q.noPref = append(q.noPref, n)
+	} else {
+		for _, h := range t.locs {
+			q.byHost[h] = append(q.byHost[h], n)
+		}
+	}
+	q.live++
+}
 
 // Run executes the job from within an existing simulated process (a
 // driver), blocking in virtual time until the job completes.
@@ -478,9 +547,17 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 							return nil, err
 						}
 					} else {
+						// Buckets sort independently on the data plane:
+						// fork-join within the task, and across map tasks in
+						// flight at the same virtual instant the closures
+						// overlap on the pool's workers.
+						futs := make([]*sim.Future, 0, len(mo.buckets))
 						for b := range mo.buckets {
-							sortRun(mo.buckets[b])
+							if bkt := mo.buckets[b]; len(bkt) > 1 {
+								futs = append(futs, tc.proc.Compute(func() { sortRun(bkt) }))
+							}
 						}
+						tc.proc.Await(futs...)
 					}
 				}
 				return func() {
@@ -536,17 +613,32 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 						shuffleBytes.Add(float64(mo.bytes[r]))
 					}
 				}
+				// Per-run prefetch: index each run's group boundaries on
+				// the data plane while the shuffle's flows drain, joining
+				// after the transfer completes.
+				spans := make([][]kvSpan, len(runs))
+				futs := make([]*sim.Future, len(runs))
+				for i := range runs {
+					i := i
+					futs[i] = tc.proc.Compute(func() { spans[i] = runSpans(runs[i]) })
+				}
 				tc.Phase("Shuffle", func() { tc.proc.TransferAll(parts...) })
-				// Streaming sort-merge: k-way heap merge over the runs,
-				// grouped values reaching Reduce through a pooled buffer
-				// (valid only for the duration of each call).
+				tc.proc.Await(futs...)
+				// Streaming sort-merge: span-level k-way heap merge over
+				// the indexed runs, grouped values reaching Reduce through
+				// a pooled buffer (valid only for the duration of each
+				// call).
 				var local []KV
 				tc.emit = func(kv KV) { local = append(local, kv) }
 				vals := getVals()
 				defer putVals(vals)
-				if err := eachGroup(runs, vals, func(key string, vs []any) error {
+				err := eachGroupSpans(runs, spans, vals, func(key string, vs []any) error {
 					return j.Reduce(tc, key, vs)
-				}); err != nil {
+				})
+				for i := range spans {
+					putSpanBuf(spans[i])
+				}
+				if err != nil {
 					return nil, err
 				}
 				return func() { finalParts[r] = local }, nil
@@ -604,7 +696,7 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 	// durations feeds the speculation threshold even when no registry is
 	// attached (taskSeconds would be a nil no-op then).
 	durations := obs.NewHistogram(taskSecondsBuckets)
-	q := &localityQueue{}
+	q := newLocalityQueue()
 	for _, t := range tasks {
 		t.attempt = 0
 		t.inflight = 0
@@ -811,6 +903,16 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 func combineBuckets(tc *TaskContext, j *Job, buckets [][]KV, bytes []int64, pairBytes func(KV) int64) error {
 	savedEmit := tc.emit
 	defer func() { tc.emit = savedEmit }()
+	// Pre-sort every bucket on the data plane (fork-join). The combine
+	// passes themselves stay on the kernel thread: user combiners may
+	// Charge virtual time or read shared state.
+	futs := make([]*sim.Future, 0, len(buckets))
+	for b := range buckets {
+		if pairs := buckets[b]; len(pairs) > 1 {
+			futs = append(futs, tc.proc.Compute(func() { sortRun(pairs) }))
+		}
+	}
+	tc.proc.Await(futs...)
 	vals := getVals()
 	defer putVals(vals)
 	for b := range buckets {
@@ -818,7 +920,6 @@ func combineBuckets(tc *TaskContext, j *Job, buckets [][]KV, bytes []int64, pair
 		if len(pairs) < 2 {
 			continue
 		}
-		sortRun(pairs)
 		combined := getKVBuf()
 		var combinedBytes int64
 		tc.emit = func(kv KV) {

@@ -12,6 +12,13 @@
 // produced: pairs come out in (key, run index, position-within-run)
 // order, where run index is map-task arrival order. Job outputs are
 // byte-identical to the previous path.
+//
+// Two-plane split: sortRun and runSpans are pure byte work and run on
+// the data plane (sim.ComputePool) — reducers index each run's group
+// boundaries while their shuffle flows drain, then merge span-at-a-time
+// on the kernel thread. All scratch buffers here are sync.Pool-backed,
+// so data-plane workers draw per-worker (per-P) buffers and never share
+// a scratch slice.
 package mapreduce
 
 import (
@@ -179,9 +186,184 @@ func eachGroup(runs [][]KV, vals *[]any, fn func(key string, vals []any) error) 
 	return nil
 }
 
+// kvSpan is one maximal [start, end) range of equal-key pairs within a
+// sorted run.
+type kvSpan struct{ start, end int }
+
+// runSpans indexes a sorted run's group boundaries. It is pure and
+// allocation-local, so reducers run it on the data plane — the per-run
+// prefetch pass — overlapping the shuffle. Return the slice with
+// putSpanBuf when the merge is done.
+func runSpans(kvs []KV) []kvSpan {
+	spans := getSpanBuf()
+	for i := 0; i < len(kvs); {
+		j := i + 1
+		for j < len(kvs) && kvs[j].K == kvs[i].K {
+			j++
+		}
+		spans = append(spans, kvSpan{start: i, end: j})
+		i = j
+	}
+	return spans
+}
+
+// spanCursor walks one indexed run a group at a time. idx is the run's
+// arrival order, the cross-run stability tie-break.
+type spanCursor struct {
+	kvs   []KV
+	spans []kvSpan
+	pos   int
+	idx   int
+}
+
+// key returns the cursor's current group key.
+func (c *spanCursor) key() string { return c.kvs[c.spans[c.pos].start].K }
+
+// spanMerge is mergeIter lifted from pairs to group spans.
+type spanMerge struct {
+	cursors []spanCursor
+	heap    []*spanCursor
+	single  *spanCursor // fast path when at most one run is non-empty
+}
+
+// newSpanMerge builds a merge over indexed runs; empty runs are skipped
+// so the heap only ever holds live cursors.
+func newSpanMerge(runs [][]KV, spans [][]kvSpan) *spanMerge {
+	m := &spanMerge{}
+	live := 0
+	for _, s := range spans {
+		if len(s) > 0 {
+			live++
+		}
+	}
+	if live == 0 {
+		return m
+	}
+	m.cursors = make([]spanCursor, 0, live)
+	for i := range runs {
+		if len(spans[i]) == 0 {
+			continue
+		}
+		m.cursors = append(m.cursors, spanCursor{kvs: runs[i], spans: spans[i], idx: i})
+	}
+	if live == 1 {
+		m.single = &m.cursors[0]
+		return m
+	}
+	m.heap = make([]*spanCursor, len(m.cursors))
+	for i := range m.cursors {
+		m.heap[i] = &m.cursors[i]
+	}
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	return m
+}
+
+// less orders cursors by (group key, run index) — the same stability
+// contract as the pairwise merge.
+func (m *spanMerge) less(a, b *spanCursor) bool {
+	ka, kb := a.key(), b.key()
+	if ka != kb {
+		return ka < kb
+	}
+	return a.idx < b.idx
+}
+
+func (m *spanMerge) siftDown(i int) {
+	h := m.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && m.less(h[r], h[l]) {
+			least = r
+		}
+		if !m.less(h[least], h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// eachGroupSpans is eachGroup over pre-indexed runs: the heap advances a
+// whole group span per step and values append span-wise. Output order is
+// identical to eachGroup — cursors with equal keys pop in run-index
+// order, and each span's values land in position order.
+func eachGroupSpans(runs [][]KV, spans [][]kvSpan, vals *[]any, fn func(key string, vals []any) error) error {
+	m := newSpanMerge(runs, spans)
+	if m.single != nil {
+		c := m.single
+		for ; c.pos < len(c.spans); c.pos++ {
+			sp := c.spans[c.pos]
+			buf := (*vals)[:0]
+			for _, kv := range c.kvs[sp.start:sp.end] {
+				buf = append(buf, kv.V)
+			}
+			*vals = buf
+			if err := fn(c.kvs[sp.start].K, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for len(m.heap) > 0 {
+		key := m.heap[0].key()
+		buf := (*vals)[:0]
+		for len(m.heap) > 0 && m.heap[0].key() == key {
+			c := m.heap[0]
+			sp := c.spans[c.pos]
+			for _, kv := range c.kvs[sp.start:sp.end] {
+				buf = append(buf, kv.V)
+			}
+			c.pos++
+			if c.pos >= len(c.spans) {
+				last := len(m.heap) - 1
+				m.heap[0] = m.heap[last]
+				m.heap = m.heap[:last]
+			}
+			if len(m.heap) > 1 {
+				m.siftDown(0)
+			}
+		}
+		*vals = buf
+		if err := fn(key, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spanBufPool recycles group-boundary indexes across reduce attempts.
+var spanBufPool sync.Pool
+
+// getSpanBuf returns a recycled span buffer (possibly nil; append grows
+// it normally).
+func getSpanBuf() []kvSpan {
+	if p, _ := spanBufPool.Get().(*[]kvSpan); p != nil {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+// putSpanBuf returns a span buffer to the pool.
+func putSpanBuf(s []kvSpan) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	spanBufPool.Put(&s)
+}
+
 // kvBufPool recycles run buffers ([]KV) between map waves and jobs: map
 // tasks draw from it on first emit to a bucket and Run returns every
-// consumed run after the reduce wave.
+// consumed run after the reduce wave. sync.Pool hands each P (and so
+// each data-plane worker) its own cached buffers — concurrent emitters
+// never receive the same scratch slice.
 var kvBufPool sync.Pool
 
 // getKVBuf returns a recycled run buffer, or nil when the pool is empty
@@ -206,6 +388,7 @@ func putKVBuf(s []KV) {
 }
 
 // valsPool recycles the grouped-value buffers handed to Reduce/Combine.
+// Same per-worker property as kvBufPool: workers draw distinct buffers.
 var valsPool sync.Pool
 
 func getVals() *[]any {

@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"scidp/internal/obs"
@@ -109,9 +110,14 @@ func (s byteRecords) ForEach(tc *TaskContext, sp *Split, fn func(key string, val
 // count — through the whole engine (scheduling, partitioning, shuffle,
 // sort-merge, reduce). withObs attaches a fresh metrics registry (and
 // kernel span tracer) per iteration, measuring the instrumented path.
-func benchTeraSort(b *testing.B, withObs bool) {
+// workers < 0 runs without a data plane (the pre-two-plane engine);
+// workers >= 0 attaches a ComputePool of that size, and the map
+// function forks one scan closure per reducer — each closure extracts
+// only its own bucket's records in record order, so buckets (and the
+// job output) are identical to a serial scan.
+func benchTeraSort(b *testing.B, withObs bool, workers, splitsN, recsPerSplit int) {
 	const rec = 100
-	const splitsN, recsPerSplit, reducers = 4, 2000, 4
+	const reducers = 4
 	rng := rand.New(rand.NewSource(11))
 	splits := make([]*Split, splitsN)
 	for i := range splits {
@@ -124,9 +130,49 @@ func benchTeraSort(b *testing.B, withObs bool) {
 		}
 		splits[i] = &Split{Label: fmt.Sprintf("t%d", i), Payload: data, Length: int64(len(data))}
 	}
+	var pool *sim.ComputePool
+	if workers >= 0 {
+		pool = sim.NewComputePool(workers)
+		defer pool.Close()
+	}
+	// The serial shape is exactly PR 4's job (single-scan map, range
+	// partition); the pooled shape spreads keys with a modulo partition
+	// and forks one scan closure per reducer — closure r emits only
+	// bucket r's records, in record order, so the closures write
+	// disjoint buckets and can run concurrently on the data plane.
+	partition := func(key string, n int) int { return int(key[0]) * n / 256 }
+	mapFn := func(tc *TaskContext, key string, value any) error {
+		data := value.([]byte)
+		for off := 0; off+rec <= len(data); off += rec {
+			tc.Emit(string(data[off:off+10]), data[off:off+rec])
+		}
+		return nil
+	}
+	if workers >= 0 {
+		partition = func(key string, n int) int { return int(key[0]) % n }
+		mapFn = func(tc *TaskContext, key string, value any) error {
+			data := value.([]byte)
+			p := tc.Proc()
+			futs := make([]*sim.Future, 0, reducers)
+			for r := 0; r < reducers; r++ {
+				r := r
+				futs = append(futs, p.Compute(func() {
+					for off := 0; off+rec <= len(data); off += rec {
+						if int(data[off])%reducers != r {
+							continue
+						}
+						tc.Emit(string(data[off:off+10]), data[off:off+rec])
+					}
+				}))
+			}
+			p.Await(futs...)
+			return nil
+		}
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		k := sim.NewKernel()
+		k.SetComputePool(pool)
 		var reg *obs.Registry
 		if withObs {
 			reg = obs.New()
@@ -141,16 +187,8 @@ func benchTeraSort(b *testing.B, withObs bool) {
 			Input:       byteRecords(splits),
 			NumReducers: reducers,
 			PairBytes:   func(kv KV) int64 { return rec },
-			Partition: func(key string, n int) int {
-				return int(key[0]) * n / 256
-			},
-			Map: func(tc *TaskContext, key string, value any) error {
-				data := value.([]byte)
-				for off := 0; off+rec <= len(data); off += rec {
-					tc.Emit(string(data[off:off+10]), data[off:off+rec])
-				}
-				return nil
-			},
+			Partition:   partition,
+			Map:         mapFn,
 			Reduce: func(tc *TaskContext, key string, values []any) error {
 				total += len(values)
 				tc.Emit(key, len(values))
@@ -176,10 +214,27 @@ func benchTeraSort(b *testing.B, withObs bool) {
 	}
 }
 
-// BenchmarkTeraSortWall is the detached baseline: no registry attached,
-// so every instrumentation site takes the nil fast path. Must stay
-// within noise of the pre-observability engine (BENCH_obs.json).
-func BenchmarkTeraSortWall(b *testing.B) { benchTeraSort(b, false) }
+// BenchmarkTeraSortWall measures the engine's real wall-clock. The
+// serial sub-benchmark runs the PR 4 geometry with no data plane (every
+// instrumentation site takes the nil fast path — comparable against
+// BENCH_obs.json). The workers=N family runs a larger geometry through
+// the two-plane executor; speedup over workers=1 tracks the machine's
+// core count on the map/sort phases (on a single-core host all worker
+// counts are within noise of each other, by design — determinism never
+// depends on the count).
+func BenchmarkTeraSortWall(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchTeraSort(b, false, -1, 4, 2000) })
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchTeraSort(b, false, w, 8, 6000)
+		})
+	}
+}
 
-// BenchmarkTeraSortWallObs is the same job with metrics and spans on.
-func BenchmarkTeraSortWallObs(b *testing.B) { benchTeraSort(b, true) }
+// BenchmarkTeraSortWallObs is the serial job with metrics and spans on.
+func BenchmarkTeraSortWallObs(b *testing.B) { benchTeraSort(b, true, -1, 4, 2000) }

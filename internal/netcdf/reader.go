@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"scidp/internal/ioengine"
+	"scidp/internal/sim"
 )
 
 // ReaderAt is the random-access source a file is parsed from — the shared
@@ -222,10 +223,15 @@ func (f *File) GetVara(name string, start, count []int) (*Array, error) {
 		plan = append(plan, ioengine.Range{Off: ci.Offset, Len: ci.StoredSize})
 	}
 	ioengine.Announce(f.r, plan)
+	// Chunks scatter into disjoint regions of out.Data (the chunk grid
+	// partitions index space), so each copyBox forks onto the data plane
+	// and all of them join once after the last chunk is fetched.
+	var futs []*sim.Future
 	for _, ix := range touched {
 		ci := v.Chunks[dot(ix, gstr)]
 		raw, err := f.readChunk(v, ci)
 		if err != nil {
+			ioengine.Join(f.r, futs...)
 			return nil, err
 		}
 		cStart, cExtent := v.chunkExtent(ix)
@@ -237,9 +243,15 @@ func (f *File) GetVara(name string, start, count []int) (*Array, error) {
 				srcStart[i] = iStart[i] - cStart[i]
 				dstStart[i] = iStart[i] - start[i]
 			}
-			copyBox(out.Data, count, dstStart, raw, cExtent, srcStart, iExtent, es)
+			raw := raw
+			if fut := ioengine.Fork(f.r, func() {
+				copyBox(out.Data, count, dstStart, raw, cExtent, srcStart, iExtent, es)
+			}); fut != nil {
+				futs = append(futs, fut)
+			}
 		}
 	}
+	ioengine.Join(f.r, futs...)
 	return out, nil
 }
 

@@ -64,6 +64,7 @@ type Kernel struct {
 	liveProcs  int
 	tracer     *Tracer
 	obs        *obs.Registry
+	pool       *ComputePool // data plane; see compute.go
 }
 
 // SetObs attaches (or detaches, with nil) an observability registry.

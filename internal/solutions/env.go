@@ -120,6 +120,14 @@ type EnvConfig struct {
 	// ReadRetry is the PFS Reader recovery policy handed to SciDP input
 	// formats (zero = fail fast).
 	ReadRetry core.RetryPolicy
+	// Workers sizes the data-plane compute pool attached to the kernel:
+	// 0 leaves the data plane off (all byte work runs inline on the
+	// kernel thread, the pre-two-plane behavior), N > 0 attaches a pool
+	// of N OS workers, and N < 0 attaches an inline pool — the
+	// scheduling shape of a pool without real concurrency, the
+	// determinism reference the pooled modes are compared against.
+	// Call Env.Close when done with a pooled env.
+	Workers int
 }
 
 // DefaultEnvConfig mirrors the paper's 8-node testbed at the given scale
@@ -160,6 +168,17 @@ type Env struct {
 	// Chaos is the armed fault injector (nil when no plan was given).
 	// It doubles as every job's TaskFaults source via Faults().
 	Chaos *chaos.Injector
+
+	// pool is the data-plane worker pool (nil when Workers == 0).
+	pool *sim.ComputePool
+}
+
+// Close releases resources the env owns — today the data-plane worker
+// pool, when one was attached. Safe to call on any env, once or more.
+func (e *Env) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+	}
 }
 
 // Faults returns the env's TaskFaults source for MapReduce jobs — the
@@ -229,6 +248,14 @@ func NewEnv(cfg EnvConfig) *Env {
 	if cfg.Chaos != nil {
 		env.Chaos = chaos.New(cfg.Chaos)
 		env.Chaos.Arm(k, pfsFS, hfs, cfg.Obs)
+	}
+	if cfg.Workers != 0 {
+		w := cfg.Workers
+		if w < 0 {
+			w = 0
+		}
+		env.pool = sim.NewComputePool(w)
+		k.SetComputePool(env.pool)
 	}
 	return env
 }

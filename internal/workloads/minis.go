@@ -339,7 +339,11 @@ func RunGrep(p *sim.Proc, cl *cluster.Cluster, be Backend, cfg MiniConfig, input
 			if cfg.ScanPerMB > 0 {
 				tc.Charge("Scan", cfg.ScanPerMB*float64(len(data))/1e6)
 			}
-			tc.Emit("count", int64(bytes.Count(data, []byte(marker))))
+			// The real scan is pure byte work — run it on the data plane
+			// (its modeled cost is the Charge above).
+			var n int64
+			tc.Compute(func() { n = int64(bytes.Count(data, []byte(marker))) })
+			tc.Emit("count", n)
 			return nil
 		},
 		Reduce: func(tc *mapreduce.TaskContext, key string, values []any) error {
@@ -381,9 +385,13 @@ func RunTeraSort(p *sim.Proc, cl *cluster.Cluster, be Backend, cfg MiniConfig, i
 			if cfg.ScanPerMB > 0 {
 				tc.Charge("Scan", cfg.ScanPerMB*float64(len(data))/1e6)
 			}
-			for off := 0; off+rec <= len(data); off += rec {
-				tc.Emit(string(data[off:off+10]), data[off:off+rec])
-			}
+			// Record extraction (key slicing + emit into the partition
+			// buckets) is pure byte work: offload it whole.
+			tc.Compute(func() {
+				for off := 0; off+rec <= len(data); off += rec {
+					tc.Emit(string(data[off:off+10]), data[off:off+rec])
+				}
+			})
 			return nil
 		},
 		Reduce: func(tc *mapreduce.TaskContext, key string, values []any) error {
