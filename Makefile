@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-paper obs-smoke chaos-smoke
+.PHONY: check fmt vet build test race bench bench-paper obs-smoke chaos-smoke scale-smoke
 
 # check is the CI gate: formatting, vet, build, full tests, the race
 # detector across the whole module (the data-plane compute pool makes
 # real goroutine concurrency reachable from every package), and the
-# observability and chaos smoke tests.
-check: fmt vet build test race obs-smoke chaos-smoke
+# observability, chaos, and scale smoke tests.
+check: fmt vet build test race obs-smoke chaos-smoke scale-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -41,6 +41,15 @@ obs-smoke:
 	$(GO) run ./cmd/scidp-bench -exp fig5 -quick \
 		-trace "$$tmp/trace.json" -metrics "$$tmp/metrics.prom" > /dev/null; \
 	$(GO) run ./cmd/checktrace "$$tmp/trace.json" "$$tmp/metrics.prom"
+
+# scale-smoke runs the quick scale-out sweep (synthetic streaming job on
+# 4- and 16-node clusters plus the kernel-vs-seed flow microbenchmark)
+# and fails if any sweep point drops below a conservative events/sec
+# floor — the guard against kernel or scheduler throughput regressions.
+# The floor is ~5x under the slowest point observed on a loaded dev box.
+scale-smoke:
+	@$(GO) run ./cmd/scidp-bench -exp scale -quick -scale-floor 50000 > /dev/null && \
+		echo "scale-smoke: throughput floor held"
 
 # chaos-smoke runs the quick fault-injection sweep and asserts every run
 # completed with output byte-identical to the fault-free baseline, the

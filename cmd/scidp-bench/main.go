@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|faults|parallel|ablations|ioengine]
+//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|faults|parallel|ablations|ioengine|scale]
 //	            [-quick] [-trace out.json] [-metrics out.prom] [-json out.json]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-scale-floor N]
 //
 // -quick runs a reduced geometry and smaller sweeps (seconds instead of
 // minutes). Output is one aligned text table per experiment, with paper
@@ -13,9 +14,15 @@
 // writes a Prometheus-style text dump of the component metrics. Either
 // flag attaches the observability registry; without them runs are
 // instrumentation-free. -json writes the selected experiment's
-// machine-readable result (the BENCH_faults.json / BENCH_parallel.json
-// artifacts: goodput/JCT sweeps, digests, recovery counters, worker
-// sweep wall-clocks).
+// machine-readable result (the BENCH_faults.json / BENCH_parallel.json /
+// BENCH_scale.json artifacts: goodput/JCT sweeps, digests, recovery
+// counters, worker sweep wall-clocks, events/sec sweeps).
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles of the bench
+// process itself (inspect with `go tool pprof`) — the intended workflow
+// for chasing simulator hot spots. -scale-floor makes -exp scale exit
+// non-zero when any sweep point falls below the given events/sec — the
+// CI guard against kernel throughput regressions.
 package main
 
 import (
@@ -24,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"scidp/internal/bench"
 	"scidp/internal/ioengine"
@@ -31,13 +40,44 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine, scale)")
 	quick := flag.Bool("quick", false, "reduced geometry and sweep sizes")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the simulated runs to this file")
 	metricsPath := flag.String("metrics", "", "write a Prometheus-style metrics dump to this file")
 	jsonPath := flag.String("json", "", "write the faults experiment's machine-readable result JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
+	scaleFloor := flag.Float64("scale-floor", 0, "with -exp scale: fail unless every sweep point sustains this many events/sec")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scidp-bench: %s: %v\n", *cpuProfile, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "scidp-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scidp-bench: %s: %v\n", *memProfile, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "scidp-bench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *tracePath != "" || *metricsPath != "" {
 		bench.Obs = obs.New()
@@ -57,6 +97,8 @@ func main() {
 	faultsSize := 24
 	faultsRates := []float64{0.05, 0.1, 0.2}
 	parallelSize, parallelReps := 24, 3
+	scaleNodes := []int{8, 32, 128}
+	scaleTasksPerNode, scaleMicroFlows := 200, 10000
 	if *quick {
 		scale = bench.QuickScale()
 		fig5Sizes = []int{8, 16}
@@ -70,6 +112,8 @@ func main() {
 		faultsSize = 16
 		faultsRates = []float64{0.1}
 		parallelSize, parallelReps = 16, 2
+		scaleNodes = []int{4, 16}
+		scaleTasksPerNode, scaleMicroFlows = 60, 2000
 	}
 
 	emit := func(t *bench.Table, err error) {
@@ -166,8 +210,25 @@ func main() {
 		emit(bench.AblationIOEngine(scale, ablSize))
 		ran = true
 	}
+	if want("scale") {
+		t, sr, err := bench.RunScale(scaleNodes, scaleTasksPerNode, scaleMicroFlows)
+		if err != nil {
+			emit(nil, err)
+		}
+		emit(t, nil)
+		if *jsonPath != "" {
+			writeJSON(*jsonPath, sr)
+		}
+		if *scaleFloor > 0 {
+			if minEv := sr.MinEventsPerSec(); minEv < *scaleFloor {
+				fmt.Fprintf(os.Stderr, "scidp-bench: scale floor violated: slowest sweep point ran %.0f events/sec, floor %.0f\n", minEv, *scaleFloor)
+				os.Exit(1)
+			}
+		}
+		ran = true
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine)\n", *exp)
+		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine, scale)\n", *exp)
 		os.Exit(2)
 	}
 

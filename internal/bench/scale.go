@@ -1,0 +1,424 @@
+package bench
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"scidp/internal/cluster"
+	"scidp/internal/mapreduce"
+	"scidp/internal/sim"
+)
+
+// This file is the scale-out experiment: it measures the simulator
+// itself rather than the paper's workloads. Two parts:
+//
+//   - A nodes × tasks sweep driving a synthetic streaming map-only job
+//     through the full stack (topology-aware locality queue, windowed
+//     split feed, slot semaphores, disk/NIC/fabric flows), reporting
+//     kernel events per wall-clock second at each point. Near-constant
+//     events/sec across points is the "near-linear" target: simulated
+//     work grows with the cluster, simulation cost per event does not.
+//
+//   - A kernel microbenchmark at thousands of concurrent flows comparing
+//     the current scheduler (indexed 4-ary heaps + incremental
+//     fair-share) against a replica of the seed implementation
+//     (container/heap with boxed events, settle-every-flow and
+//     recompute-every-rate on each membership change).
+
+// ScaleResult is the machine-readable output (BENCH_scale.json).
+type ScaleResult struct {
+	// GoMaxProcs records the host parallelism the wall-clocks ran under.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Sweep holds one entry per nodes × tasks point.
+	Sweep []ScalePoint `json:"sweep"`
+	// Micro is the kernel-vs-seed flow scheduling comparison.
+	Micro ScaleMicro `json:"micro"`
+}
+
+// ScalePoint is one sweep measurement.
+type ScalePoint struct {
+	Nodes        int     `json:"nodes"`
+	Tasks        int     `json:"tasks"`
+	Events       uint64  `json:"events"`
+	VirtualSecs  float64 `json:"virtual_secs"`
+	WallSecs     float64 `json:"wall_secs"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// ScaleMicro compares flow-completion throughput on the same workload.
+type ScaleMicro struct {
+	Flows             int     `json:"flows"`
+	KernelWallSecs    float64 `json:"kernel_wall_secs"`
+	SeedWallSecs      float64 `json:"seed_wall_secs"`
+	KernelFlowsPerSec float64 `json:"kernel_flows_per_sec"`
+	SeedFlowsPerSec   float64 `json:"seed_flows_per_sec"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// MinEventsPerSec returns the slowest sweep point's throughput (0 with
+// no sweep) — what the CI floor checks.
+func (r *ScaleResult) MinEventsPerSec() float64 {
+	min := 0.0
+	for i, p := range r.Sweep {
+		if i == 0 || p.EventsPerSec < min {
+			min = p.EventsPerSec
+		}
+	}
+	return min
+}
+
+// scaleInput is a StreamingInput minting synthetic splits on demand:
+// most splits prefer one host (round-robin), every seventh floats free.
+// Reading a split pulls its bytes off the preferred host's disk —
+// locally when the task landed there, across the fabric otherwise.
+type scaleInput struct {
+	cl    *cluster.Cluster
+	total int
+	bytes float64
+	next  int
+}
+
+func (si *scaleInput) Splits(p *sim.Proc) ([]*mapreduce.Split, error) {
+	return nil, fmt.Errorf("bench: scaleInput must stream")
+}
+
+func (si *scaleInput) SplitSource(p *sim.Proc) (mapreduce.SplitSource, error) {
+	return si, nil
+}
+
+func (si *scaleInput) Next(p *sim.Proc) (*mapreduce.Split, error) {
+	if si.next >= si.total {
+		return nil, nil
+	}
+	i := si.next
+	si.next++
+	s := &mapreduce.Split{
+		Label:   fmt.Sprintf("blk-%d", i),
+		Payload: i,
+		Length:  int64(si.bytes),
+	}
+	if i%7 != 0 {
+		s.Locations = []string{si.cl.Node(i % len(si.cl.Nodes)).Name}
+	}
+	return s, nil
+}
+
+func (si *scaleInput) ForEach(tc *mapreduce.TaskContext, s *mapreduce.Split, fn func(key string, value any) error) error {
+	i := s.Payload.(int)
+	home := si.cl.Node(i % len(si.cl.Nodes))
+	tc.Phase("Read", func() {
+		if home == tc.Node() {
+			tc.Proc().Transfer(si.bytes, cluster.LocalReadPath(home)...)
+		} else {
+			tc.Proc().Transfer(si.bytes, si.cl.RemoteReadPath(home, tc.Node())...)
+		}
+	})
+	return fn(s.Label, i)
+}
+
+// scaleSweepPoint runs one synthetic job and measures the kernel.
+func scaleSweepPoint(nodes, tasks int) (ScalePoint, error) {
+	k := sim.NewKernel()
+	cl := cluster.New(k, "sc", cluster.Config{
+		Nodes: nodes, SlotsPerNode: 2,
+		DiskBW: 100e6, DiskLatency: 0.002,
+		NICBW: 1.25e9, NetLatency: 0.0002,
+		FabricBW:     float64(nodes) * 1.25e9 / 2,
+		NodesPerRack: 8, RacksPerZone: 4,
+	})
+	in := &scaleInput{cl: cl, total: tasks, bytes: 32e6}
+	job := &mapreduce.Job{
+		Name: "scale", Cluster: cl, Input: in,
+		TaskStartup: 0.5, SplitWindow: 4096,
+		Map: func(tc *mapreduce.TaskContext, key string, value any) error {
+			tc.Charge("Compute", 0.01)
+			return nil
+		},
+	}
+	var res *mapreduce.Result
+	var jerr error
+	k.Go("driver", func(p *sim.Proc) {
+		res, jerr = job.Run(p)
+	})
+	start := time.Now()
+	k.Run()
+	wall := time.Since(start).Seconds()
+	if jerr != nil {
+		return ScalePoint{}, jerr
+	}
+	if len(res.MapStats) != tasks {
+		return ScalePoint{}, fmt.Errorf("bench: scale point ran %d tasks, want %d", len(res.MapStats), tasks)
+	}
+	pt := ScalePoint{
+		Nodes: nodes, Tasks: tasks,
+		Events:      k.EventsProcessed(),
+		VirtualSecs: res.Elapsed(),
+		WallSecs:    wall,
+	}
+	if wall > 0 {
+		pt.EventsPerSec = float64(pt.Events) / wall
+	}
+	return pt, nil
+}
+
+// microFlow is one flow of the kernel microbenchmark workload.
+type microFlow struct {
+	at     float64
+	bytes  float64
+	r1, r2 int
+}
+
+// microWorkload draws a deterministic staggered-start flow population
+// over a shared resource pool; at the default sizes roughly the whole
+// population is concurrently active mid-run.
+func microWorkload(flows, nRes int) []microFlow {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]microFlow, flows)
+	for i := range out {
+		out[i] = microFlow{
+			at:    rng.Float64() * 2,
+			bytes: 1000 + rng.Float64()*9000,
+			r1:    rng.Intn(nRes),
+			r2:    rng.Intn(nRes),
+		}
+	}
+	return out
+}
+
+// runMicroKernel replays the workload on the current kernel.
+func runMicroKernel(work []microFlow, nRes int) (wall float64, completed int) {
+	k := sim.NewKernel()
+	res := make([]*sim.Resource, nRes)
+	for i := range res {
+		res[i] = sim.NewResource("r", 1000)
+	}
+	for _, mf := range work {
+		mf := mf
+		k.After(mf.at, func() {
+			k.StartFlow(mf.bytes, func() { completed++ }, res[mf.r1], res[mf.r2])
+		})
+	}
+	start := time.Now()
+	k.Run()
+	return time.Since(start).Seconds(), completed
+}
+
+// --- seed replica -----------------------------------------------------
+//
+// A faithful copy of the seed kernel's scheduling shape: a boxed
+// container/heap event queue, a flow map, and on every membership change
+// a settle of every flow followed by a recompute of every rate and a
+// full-scan completion reschedule — O(F) per change, O(F²) to drain F
+// flows. Kept as the microbenchmark baseline so the speedup is measured
+// against the real replaced algorithm, not a guess.
+
+type seedEvent struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type seedEventHeap []*seedEvent
+
+func (h seedEventHeap) Len() int { return len(h) }
+func (h seedEventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h seedEventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *seedEventHeap) Push(x any)   { *h = append(*h, x.(*seedEvent)) }
+func (h *seedEventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+type seedRes struct {
+	capacity float64
+	active   int
+}
+
+type seedFlow struct {
+	id        uint64
+	remaining float64
+	rate      float64
+	res       []*seedRes
+	done      func()
+}
+
+type seedSim struct {
+	now        float64
+	seq        uint64
+	lastSettle float64
+	events     seedEventHeap
+	flows      map[uint64]*seedFlow
+	nextID     uint64
+	epoch      uint64
+	completed  int
+}
+
+func newSeedSim() *seedSim { return &seedSim{flows: map[uint64]*seedFlow{}} }
+
+func (s *seedSim) after(at float64, fn func()) {
+	s.seq++
+	heap.Push(&s.events, &seedEvent{at: s.now + at, seq: s.seq, fn: fn})
+}
+
+func (s *seedSim) settleAll() {
+	dt := s.now - s.lastSettle
+	if dt > 0 {
+		for _, f := range s.flows {
+			if f.rate > 0 {
+				f.remaining -= f.rate * dt
+			}
+		}
+	}
+	s.lastSettle = s.now
+}
+
+func (s *seedSim) recomputeAll() {
+	for _, f := range s.flows {
+		rate := math.MaxFloat64
+		for _, r := range f.res {
+			share := r.capacity / float64(r.active)
+			if share < rate {
+				rate = share
+			}
+		}
+		f.rate = rate
+	}
+	s.scheduleCompletion()
+}
+
+func (s *seedSim) scheduleCompletion() {
+	s.epoch++
+	next := math.Inf(1)
+	for _, f := range s.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if d := s.now + f.remaining/f.rate; d < next {
+			next = d
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	epoch := s.epoch
+	s.after(next-s.now, func() {
+		if epoch != s.epoch {
+			return
+		}
+		s.completeFlows()
+	})
+}
+
+func (s *seedSim) completeFlows() {
+	s.settleAll()
+	for id, f := range s.flows {
+		if f.remaining <= 1e-6 {
+			for _, r := range f.res {
+				r.active--
+			}
+			delete(s.flows, id)
+			s.completed++
+			f.done()
+		}
+	}
+	s.recomputeAll()
+}
+
+func (s *seedSim) startFlow(bytes float64, done func(), res ...*seedRes) {
+	s.settleAll()
+	s.nextID++
+	f := &seedFlow{id: s.nextID, remaining: bytes, res: res, done: done}
+	for _, r := range res {
+		r.active++
+	}
+	s.flows[f.id] = f
+	s.recomputeAll()
+}
+
+func (s *seedSim) run() {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*seedEvent)
+		s.now = ev.at
+		ev.fn()
+	}
+}
+
+// runMicroSeed replays the workload on the seed replica.
+func runMicroSeed(work []microFlow, nRes int) (wall float64, completed int) {
+	s := newSeedSim()
+	res := make([]*seedRes, nRes)
+	for i := range res {
+		res[i] = &seedRes{capacity: 1000}
+	}
+	for _, mf := range work {
+		mf := mf
+		s.after(mf.at, func() {
+			s.startFlow(mf.bytes, func() {}, res[mf.r1], res[mf.r2])
+		})
+	}
+	start := time.Now()
+	s.run()
+	return time.Since(start).Seconds(), s.completed
+}
+
+// RunScale runs the sweep at each nodes count (tasks = tasksPerNode ×
+// nodes, weak scaling) and the flow microbenchmark, returning the table
+// and the JSON result.
+func RunScale(nodesList []int, tasksPerNode, microFlows int) (*Table, *ScaleResult, error) {
+	r := &ScaleResult{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	t := &Table{
+		ID:     "Scale",
+		Title:  "simulator throughput: nodes × tasks sweep and kernel microbenchmark",
+		Header: []string{"nodes", "tasks", "events", "virtual s", "wall s", "events/s"},
+	}
+	for _, nodes := range nodesList {
+		pt, err := scaleSweepPoint(nodes, tasksPerNode*nodes)
+		if err != nil {
+			return nil, nil, err
+		}
+		r.Sweep = append(r.Sweep, pt)
+		t.AddRow(fmt.Sprintf("%d", pt.Nodes), fmt.Sprintf("%d", pt.Tasks),
+			fmt.Sprintf("%d", pt.Events), secs(pt.VirtualSecs),
+			fmt.Sprintf("%.3f", pt.WallSecs), fmt.Sprintf("%.0f", pt.EventsPerSec))
+	}
+
+	work := microWorkload(microFlows, 64)
+	kWall, kDone := runMicroKernel(work, 64)
+	sWall, sDone := runMicroSeed(work, 64)
+	if kDone != len(work) {
+		return nil, nil, fmt.Errorf("bench: kernel completed %d/%d micro flows", kDone, len(work))
+	}
+	if sDone != len(work) {
+		return nil, nil, fmt.Errorf("bench: seed replica completed %d/%d micro flows", sDone, len(work))
+	}
+	r.Micro = ScaleMicro{
+		Flows:          microFlows,
+		KernelWallSecs: kWall,
+		SeedWallSecs:   sWall,
+	}
+	if kWall > 0 {
+		r.Micro.KernelFlowsPerSec = float64(microFlows) / kWall
+		r.Micro.Speedup = sWall / kWall
+	}
+	if sWall > 0 {
+		r.Micro.SeedFlowsPerSec = float64(microFlows) / sWall
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("micro: %d concurrent-flow workload — kernel %.3fs (%.0f flows/s) vs seed replica %.3fs (%.0f flows/s): %.1fx",
+			microFlows, kWall, r.Micro.KernelFlowsPerSec, sWall, r.Micro.SeedFlowsPerSec, r.Micro.Speedup),
+		"events/s should stay near-flat across the sweep (near-linear total throughput); the floor is enforced by -scale-floor / make scale-smoke")
+	return t, r, nil
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"scidp/internal/ioengine"
+	"scidp/internal/obs"
+	"scidp/internal/sim"
+	"scidp/internal/solutions"
+	"scidp/internal/workloads"
+)
+
+// exportRunMode is exportRun with the kernel's fair-share scheduler
+// pinned to a mode: the full scidp pipeline runs on a fresh registry and
+// both export streams are returned.
+func exportRunMode(t *testing.T, mode sim.FairShareMode) (trace, prom []byte) {
+	t.Helper()
+	prev := Obs
+	defer func() { Obs = prev }()
+	Obs = obs.New()
+	ioengine.RegisterObs(Obs)
+	ClearCache()
+	s := QuickScale()
+	blobs, ds, err := dataset(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := obsEnvConfig(s.EnvConfig(0), "scidp@4ts")
+	cfg.FairShare = mode
+	env := solutions.NewEnv(cfg)
+	workloads.Install(env.PFS, blobs)
+	wl := &solutions.Workload{Dataset: ds, Var: "QR"}
+	run := solutions.All()["scidp"]
+	var rerr error
+	env.K.Go("driver", func(p *sim.Proc) {
+		_, rerr = run(p, env, wl)
+	})
+	env.K.Run()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	env.ExportSimMetrics()
+	var tb, pb bytes.Buffer
+	if err := Obs.WriteChromeTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := Obs.WritePrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), pb.Bytes()
+}
+
+// TestExportsIdenticalAcrossSchedulerModes is the scale-out refactor's
+// acceptance check: the incremental fair-share scheduler must reproduce
+// the full-recompute oracle bit for bit at the pipeline level — the
+// whole scidp run's Chrome trace and Prometheus dump byte-identical
+// across modes.
+func TestExportsIdenticalAcrossSchedulerModes(t *testing.T) {
+	ti, pi := exportRunMode(t, sim.FairShareIncremental)
+	tf, pf := exportRunMode(t, sim.FairShareFull)
+	if !bytes.Equal(ti, tf) {
+		t.Error("Chrome traces differ between incremental and full-recompute scheduling")
+	}
+	if !bytes.Equal(pi, pf) {
+		t.Error("Prometheus dumps differ between incremental and full-recompute scheduling")
+	}
+}
+
+// TestRunScaleSmoke exercises the sweep and the microbenchmark at a tiny
+// size: every task must run, throughput must be measured, and the new
+// kernel must beat the seed replica on the same workload.
+func TestRunScaleSmoke(t *testing.T) {
+	tab, r, err := RunScale([]int{4}, 30, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sweep) != 1 || len(tab.Rows) != 1 {
+		t.Fatalf("sweep points = %d, want 1", len(r.Sweep))
+	}
+	pt := r.Sweep[0]
+	if pt.Tasks != 120 || pt.Events == 0 || pt.EventsPerSec <= 0 {
+		t.Fatalf("sweep point = %+v", pt)
+	}
+	if r.Micro.Speedup < 1.5 {
+		t.Fatalf("kernel speedup over seed replica = %.2fx, want comfortably > 1", r.Micro.Speedup)
+	}
+	if r.MinEventsPerSec() != pt.EventsPerSec {
+		t.Fatalf("MinEventsPerSec = %v, want %v", r.MinEventsPerSec(), pt.EventsPerSec)
+	}
+}

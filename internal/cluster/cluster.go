@@ -16,6 +16,10 @@ import (
 type Node struct {
 	// Name identifies the node (e.g. "bd-3", "oss-1").
 	Name string
+	// Rack and Zone place the node in the cluster topology ("" on flat
+	// clusters). Schedulers use them for host→rack→zone locality
+	// escalation.
+	Rack, Zone string
 	// Disk is the node's local storage bandwidth resource.
 	Disk *sim.Resource
 	// NIC is the node's network interface resource.
@@ -23,6 +27,13 @@ type Node struct {
 	// Slots bounds concurrently running tasks on the node (YARN
 	// containers, MPI ranks). Nil for storage-only nodes.
 	Slots *sim.Semaphore
+}
+
+// Place locates a host in the topology hierarchy.
+type Place struct {
+	// Rack and Zone name the host's enclosing domains ("" when the
+	// cluster is flat at that level).
+	Rack, Zone string
 }
 
 // Cluster is a named set of nodes connected by one switch fabric.
@@ -34,6 +45,8 @@ type Cluster struct {
 	// Fabric is the shared intra-cluster switching capacity every
 	// cross-node transfer traverses.
 	Fabric *sim.Resource
+
+	places map[string]Place
 }
 
 // Config carries the hardware constants for building a cluster. The zero
@@ -54,6 +67,14 @@ type Config struct {
 	NetLatency float64
 	// FabricBW is the cluster switch's aggregate capacity, bytes/second.
 	FabricBW float64
+	// NodesPerRack, when positive, groups consecutive nodes into racks
+	// ("<name>-rack-<i>"). Zero leaves the cluster flat — the paper's
+	// 8-node testbed shape.
+	NodesPerRack int
+	// RacksPerZone, when positive (and NodesPerRack is set), groups
+	// consecutive racks into zones ("<name>-zone-<i>") — the third
+	// locality tier for O(100k)-node sweeps.
+	RacksPerZone int
 }
 
 // DefaultHardware mirrors the paper's Chameleon testbed: 250 GB 7200 RPM
@@ -93,9 +114,17 @@ func New(k *sim.Kernel, name string, c Config) *Cluster {
 	cl := &Cluster{
 		Name:   name,
 		Fabric: sim.NewResource(name+"/fabric", c.FabricBW),
+		places: map[string]Place{},
 	}
 	for i := 0; i < c.Nodes; i++ {
 		n := &Node{Name: fmt.Sprintf("%s-%d", name, i)}
+		if c.NodesPerRack > 0 {
+			rack := i / c.NodesPerRack
+			n.Rack = fmt.Sprintf("%s-rack-%d", name, rack)
+			if c.RacksPerZone > 0 {
+				n.Zone = fmt.Sprintf("%s-zone-%d", name, rack/c.RacksPerZone)
+			}
+		}
 		n.Disk = sim.NewResource(n.Name+"/disk", c.DiskBW)
 		n.Disk.Latency = c.DiskLatency
 		n.NIC = sim.NewResource(n.Name+"/nic", c.NICBW)
@@ -104,8 +133,19 @@ func New(k *sim.Kernel, name string, c Config) *Cluster {
 			n.Slots = k.NewSemaphore(c.SlotsPerNode)
 		}
 		cl.Nodes = append(cl.Nodes, n)
+		cl.places[n.Name] = Place{Rack: n.Rack, Zone: n.Zone}
 	}
 	return cl
+}
+
+// Place returns the topology placement of the named host (zero Place for
+// unknown hosts or flat clusters).
+func (c *Cluster) Place(host string) Place { return c.places[host] }
+
+// HasTopology reports whether the cluster carries rack (and possibly
+// zone) structure.
+func (c *Cluster) HasTopology() bool {
+	return len(c.Nodes) > 0 && c.Nodes[0].Rack != ""
 }
 
 // Node returns the i-th node.

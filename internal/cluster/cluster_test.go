@@ -28,6 +28,43 @@ func TestNewClusterShape(t *testing.T) {
 	if cl.Lookup("nope") != nil {
 		t.Error("Lookup of missing node should be nil")
 	}
+	if cl.HasTopology() {
+		t.Error("DefaultHardware cluster should be flat")
+	}
+	if p := cl.Place("bd-3"); p.Rack != "" || p.Zone != "" {
+		t.Errorf("flat cluster placement = %+v, want empty", p)
+	}
+}
+
+func TestTopologyPlacement(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultHardware(12, 2)
+	cfg.NodesPerRack = 3
+	cfg.RacksPerZone = 2
+	cl := New(k, "bd", cfg)
+	if !cl.HasTopology() {
+		t.Fatal("cluster with NodesPerRack should report topology")
+	}
+	// 12 nodes / 3 per rack = 4 racks; 4 racks / 2 per zone = 2 zones.
+	wants := []struct {
+		host, rack, zone string
+	}{
+		{"bd-0", "bd-rack-0", "bd-zone-0"},
+		{"bd-2", "bd-rack-0", "bd-zone-0"},
+		{"bd-3", "bd-rack-1", "bd-zone-0"},
+		{"bd-6", "bd-rack-2", "bd-zone-1"},
+		{"bd-11", "bd-rack-3", "bd-zone-1"},
+	}
+	for _, w := range wants {
+		p := cl.Place(w.host)
+		if p.Rack != w.rack || p.Zone != w.zone {
+			t.Errorf("Place(%s) = %+v, want rack %s zone %s", w.host, p, w.rack, w.zone)
+		}
+		n := cl.Lookup(w.host)
+		if n.Rack != w.rack || n.Zone != w.zone {
+			t.Errorf("node %s carries rack %q zone %q", w.host, n.Rack, n.Zone)
+		}
+	}
 }
 
 func TestStorageOnlyNodesHaveNoSlots(t *testing.T) {

@@ -59,6 +59,46 @@ type InputFormat interface {
 	ForEach(tc *TaskContext, s *Split, fn func(key string, value any) error) error
 }
 
+// SplitSource yields a job's splits one at a time, so a million-split
+// job never materializes its whole split table: the engine pulls splits
+// lazily into a bounded scheduling window (Job.SplitWindow) as task
+// slots drain it.
+type SplitSource interface {
+	// Next returns the next split, or (nil, nil) once the source is
+	// exhausted. p is the simulated process doing the pull — the job
+	// driver for the initial window, then whichever task slot drains
+	// the queue below its refill mark — so any metadata cost the source
+	// models lands on the puller's virtual timeline.
+	Next(p *sim.Proc) (*Split, error)
+}
+
+// StreamingInput is an optional InputFormat extension: a format that can
+// enumerate splits incrementally implements it and the engine will pull
+// from the source instead of calling Splits, keeping split and task
+// state O(SplitWindow) instead of O(total splits).
+type StreamingInput interface {
+	InputFormat
+	// SplitSource opens the incremental split stream; p charges
+	// whatever up-front metadata the format needs.
+	SplitSource(p *sim.Proc) (SplitSource, error)
+}
+
+// sliceSplits adapts an eagerly-materialized split slice to SplitSource.
+type sliceSplits struct {
+	splits []*Split
+	next   int
+}
+
+func (ss *sliceSplits) Next(*sim.Proc) (*Split, error) {
+	if ss.next >= len(ss.splits) {
+		return nil, nil
+	}
+	s := ss.splits[ss.next]
+	ss.splits[ss.next] = nil // release as consumed
+	ss.next++
+	return s, nil
+}
+
 // MapFunc consumes one record and emits intermediate pairs via tc.Emit.
 type MapFunc func(tc *TaskContext, key string, value any) error
 
@@ -88,6 +128,12 @@ type Job struct {
 	// NumReducers is the reduce task count (default 1 when Reduce is
 	// set).
 	NumReducers int
+	// SplitWindow bounds how many splits are materialized as schedulable
+	// tasks at once (default 1024). With a StreamingInput the engine
+	// pulls more splits only as the window drains, so a million-split
+	// job holds O(SplitWindow) task state; with a plain InputFormat the
+	// split slice exists anyway and the window only bounds queue depth.
+	SplitWindow int
 	// TaskStartup is the fixed per-task launch cost in seconds (YARN
 	// container + JVM spin-up; default 1.0).
 	TaskStartup float64
@@ -340,23 +386,33 @@ type task struct {
 	pendingSpec bool
 }
 
-// localityQueue hands tasks to workers, preferring node-local splits.
+// localityQueue hands tasks to workers, preferring node-local splits,
+// then (when the cluster has topology) rack-local and zone-local ones.
 // Workers that find only remote-preferring tasks back off briefly before
-// stealing (delay scheduling), so locality holds whenever local slots
-// exist without risking starvation when they do not.
+// widening to the next tier and finally stealing (delay scheduling), so
+// locality holds whenever nearby slots exist without risking starvation
+// when they do not.
 //
-// Entries are indexed per preferred host, so pickLocal is O(1) amortized
-// instead of a scan of the whole queue (hot at large task counts). Each
-// push wraps the task in a qnode stamped with a FIFO sequence number;
-// taking a node marks it consumed in every list that references it, and
-// heads are trimmed lazily. Selection order is identical to the old
-// first-match scan: the live candidate with the lowest sequence wins.
+// Entries are indexed per preferred host, rack, and zone, so every pick
+// is O(1) amortized instead of a scan of the whole queue (hot at large
+// task counts). Each push wraps the task in a qnode stamped with a FIFO
+// sequence number; taking a node marks it consumed in every list that
+// references it, and heads are trimmed lazily. Selection order within a
+// tier matches the old first-match scan: the live candidate with the
+// lowest sequence wins. Drained index keys are deleted and consumed
+// entries are compacted out once they outnumber live ones, so a
+// long-running windowed phase holds O(window) queue state instead of
+// accumulating one entry per task ever pushed.
 type localityQueue struct {
 	seq    uint64
 	live   int
+	dead   int                 // consumed qnodes still referenced by lists
 	fifo   []*qnode            // every live node, FIFO — pickAny's view
 	byHost map[string][]*qnode // nodes preferring each host
+	byRack map[string][]*qnode // nodes preferring any host in each rack
+	byZone map[string][]*qnode // nodes preferring any host in each zone
 	noPref []*qnode            // nodes with no preference, eligible anywhere
+	topo   *cluster.Cluster    // nil when the cluster is flat
 }
 
 // qnode is one queued task entry. A task requeued after a failure (or
@@ -367,8 +423,14 @@ type qnode struct {
 	taken bool
 }
 
-func newLocalityQueue() *localityQueue {
-	return &localityQueue{byHost: map[string][]*qnode{}}
+func newLocalityQueue(cl *cluster.Cluster) *localityQueue {
+	q := &localityQueue{byHost: map[string][]*qnode{}}
+	if cl != nil && cl.HasTopology() {
+		q.topo = cl
+		q.byRack = map[string][]*qnode{}
+		q.byZone = map[string][]*qnode{}
+	}
+	return q
 }
 
 // qhead trims consumed entries off the list's front and returns the
@@ -383,19 +445,94 @@ func qhead(list []*qnode) ([]*qnode, *qnode) {
 	return list, list[0]
 }
 
+// mapHead trims consumed entries off m[key] and returns its first live
+// entry. A drained key is deleted outright: the maps must not retain one
+// slowly-growing entry per host, rack, and zone a task ever preferred.
+func mapHead(m map[string][]*qnode, key string) *qnode {
+	if m == nil {
+		return nil
+	}
+	list, n := qhead(m[key])
+	if n == nil {
+		delete(m, key)
+		return nil
+	}
+	m[key] = list
+	return n
+}
+
 // take consumes n everywhere it is indexed and returns its task.
 func (q *localityQueue) take(n *qnode) *task {
 	n.taken = true
 	q.live--
+	q.dead++
+	if q.dead > 256 && q.dead > 4*q.live {
+		q.compact()
+	}
 	return n.t
+}
+
+// compact rewrites every list without its consumed entries. Amortized
+// O(1) per take: it runs only once dead entries outnumber live ones 4:1,
+// and resets the dead count to zero.
+func (q *localityQueue) compact() {
+	q.fifo = compactList(q.fifo)
+	q.noPref = compactList(q.noPref)
+	compactIndex(q.byHost)
+	compactIndex(q.byRack)
+	compactIndex(q.byZone)
+	q.dead = 0
+}
+
+func compactList(list []*qnode) []*qnode {
+	out := list[:0]
+	for _, n := range list {
+		if !n.taken {
+			out = append(out, n)
+		}
+	}
+	// Nil the tail so consumed nodes are collectable.
+	tail := list[len(out):cap(list)]
+	for i := range tail {
+		tail[i] = nil
+	}
+	return out
+}
+
+func compactIndex(m map[string][]*qnode) {
+	for key, list := range m {
+		if trimmed := compactList(list); len(trimmed) == 0 {
+			delete(m, key)
+		} else {
+			m[key] = trimmed
+		}
+	}
 }
 
 // pickLocal removes and returns the earliest-queued task that prefers
 // nodeName or has no preference at all; nil when every queued task
 // prefers another node.
 func (q *localityQueue) pickLocal(nodeName string) *task {
-	var hn, nn *qnode
-	q.byHost[nodeName], hn = qhead(q.byHost[nodeName])
+	return q.pickPreferred(q.byHost, nodeName)
+}
+
+// pickRack is pickLocal one tier up: tasks preferring any host in the
+// worker's rack.
+func (q *localityQueue) pickRack(rack string) *task {
+	return q.pickPreferred(q.byRack, rack)
+}
+
+// pickZone is the widest preference tier before an outright steal.
+func (q *localityQueue) pickZone(zone string) *task {
+	return q.pickPreferred(q.byZone, zone)
+}
+
+// pickPreferred races the earliest entry filed under key against the
+// no-preference head, so selection stays global-FIFO among eligible
+// candidates.
+func (q *localityQueue) pickPreferred(m map[string][]*qnode, key string) *task {
+	hn := mapHead(m, key)
+	var nn *qnode
 	q.noPref, nn = qhead(q.noPref)
 	switch {
 	case hn == nil && nn == nil:
@@ -433,8 +570,31 @@ func (q *localityQueue) push(t *task) {
 		for _, h := range t.locs {
 			q.byHost[h] = append(q.byHost[h], n)
 		}
+		if q.topo != nil {
+			q.indexTopo(n, t.locs)
+		}
 	}
 	q.live++
+}
+
+// indexTopo files n under the rack and zone of each preferred host.
+// Within one push the only appends to a given rack/zone list are n
+// itself, so a tail check dedups replicas sharing a domain without
+// allocating a set.
+func (q *localityQueue) indexTopo(n *qnode, locs []string) {
+	for _, h := range locs {
+		pl := q.topo.Place(h)
+		if pl.Rack != "" && !endsWith(q.byRack[pl.Rack], n) {
+			q.byRack[pl.Rack] = append(q.byRack[pl.Rack], n)
+		}
+		if pl.Zone != "" && !endsWith(q.byZone[pl.Zone], n) {
+			q.byZone[pl.Zone] = append(q.byZone[pl.Zone], n)
+		}
+	}
+}
+
+func endsWith(list []*qnode, n *qnode) bool {
+	return len(list) > 0 && list[len(list)-1] == n
 }
 
 // Run executes the job from within an existing simulated process (a
@@ -485,20 +645,39 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 		}
 	}
 
-	splits, err := j.Input.Splits(p)
-	if err != nil {
-		return nil, fmt.Errorf("mapreduce: job %s: %w", j.Name, err)
+	// Splits arrive through a SplitSource: a StreamingInput is pulled
+	// lazily so the engine only ever holds O(SplitWindow) of them; any
+	// other format materializes once via Splits and drains through the
+	// same path.
+	var src SplitSource
+	if si, ok := j.Input.(StreamingInput); ok {
+		s, err := si.SplitSource(p)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %s: %w", j.Name, err)
+		}
+		src = s
+	} else {
+		splits, err := j.Input.Splits(p)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %s: %w", j.Name, err)
+		}
+		src = &sliceSplits{splits: splits}
+	}
+	window := j.SplitWindow
+	if window <= 0 {
+		window = 1024
 	}
 
 	// Intermediate state: per map task, per reducer sorted run. Each
 	// bucket is sorted once — by sortRun at map completion, or by the
 	// combiner pass — so reducers can k-way merge instead of re-sorting.
+	// The slice grows as the feed mints tasks; map-only jobs skip it.
 	type mapOut struct {
 		node    *cluster.Node
 		buckets [][]KV
 		bytes   []int64
 	}
-	outs := make([]*mapOut, len(splits))
+	var outs []*mapOut
 	var mapOnly []KV
 
 	var firstErr error
@@ -508,10 +687,20 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 		}
 	}
 
-	mapTasks := make([]*task, len(splits))
-	for i, s := range splits {
-		i, s := i, s
-		mapTasks[i] = &task{
+	// Map tasks are minted on demand from the split source, at most
+	// SplitWindow ahead of the slots draining them.
+	nextMap := 0
+	mapFeed := func(rp *sim.Proc) (*task, error) {
+		s, err := src.Next(rp)
+		if err != nil || s == nil {
+			return nil, err
+		}
+		i := nextMap
+		nextMap++
+		if reducers > 0 {
+			outs = append(outs, nil)
+		}
+		return &task{
 			index: i,
 			label: s.Label,
 			locs:  s.Locations,
@@ -561,13 +750,15 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 					}
 				}
 				return func() {
-					outs[i] = mo
+					if reducers > 0 {
+						outs[i] = mo
+					}
 					mapOnly = append(mapOnly, localOnly...)
 				}, nil
 			},
-		}
+		}, nil
 	}
-	j.runPhase(p, "map", mapTasks, startup, maxAttempts, &res.MapStats, res, fail)
+	j.runPhase(p, "map", mapFeed, window, startup, maxAttempts, &res.MapStats, res, fail)
 	if firstErr != nil {
 		return nil, fmt.Errorf("mapreduce: job %s: %w", j.Name, firstErr)
 	}
@@ -645,7 +836,7 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 			},
 		}
 	}
-	j.runPhase(p, "reduce", reduceTasks, startup, maxAttempts, &res.ReduceStats, res, fail)
+	j.runPhase(p, "reduce", sliceFeed(reduceTasks), reducers, startup, maxAttempts, &res.ReduceStats, res, fail)
 	if firstErr != nil {
 		return nil, fmt.Errorf("mapreduce: job %s: %w", j.Name, firstErr)
 	}
@@ -668,14 +859,42 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 	return res, nil
 }
 
-// runPhase executes tasks on the cluster's worker slots and blocks the
-// driver until every task commits or permanently fails. Failed attempts
-// requeue while the MaxAttempts budget lasts; with speculation enabled
-// (map phase only) a monitor process launches backup attempts for
-// stragglers, and whichever attempt finishes first commits — the loser
-// runs out its slot but its work is discarded.
-func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64, maxAttempts int, stats *[]TaskStats, res *Result, fail func(error)) {
+// taskFeed produces a phase's tasks on demand: (nil, nil) once the
+// phase's work is fully enumerated. runPhase pulls from it lazily, never
+// holding more than the scheduling window of un-run tasks.
+type taskFeed func(p *sim.Proc) (*task, error)
+
+// sliceFeed drains a pre-built task slice — the reduce wave's shape is
+// known up front.
+func sliceFeed(tasks []*task) taskFeed {
+	next := 0
+	return func(*sim.Proc) (*task, error) {
+		if next >= len(tasks) {
+			return nil, nil
+		}
+		t := tasks[next]
+		next++
+		return t, nil
+	}
+}
+
+// runPhase executes the feed's tasks on the cluster's worker slots and
+// blocks the driver until every task commits or permanently fails. Tasks
+// are pulled into the queue in windows: the driver primes the first
+// window, then whichever worker drains the queue below half the window
+// refills it (charging any source metadata cost to that worker's
+// timeline). Failed attempts requeue while the MaxAttempts budget lasts;
+// with speculation enabled (map phase only) a monitor process launches
+// backup attempts for straggling tasks already minted, and whichever
+// attempt finishes first commits — the loser runs out its slot but its
+// work is discarded. Workers escalate their pick radius with consecutive
+// misses: host-local immediately, rack-local after 3 delay beats,
+// zone-local after 6, any task after the last tier the topology offers.
+func (j *Job) runPhase(p *sim.Proc, phase string, feed taskFeed, window int, startup float64, maxAttempts int, stats *[]TaskStats, res *Result, fail func(error)) {
 	k := p.Kernel()
+	if window < 1 {
+		window = 1
+	}
 	var phaseSpan *obs.Span
 	var attempts, failures, completed *obs.Counter
 	var specLaunched, specWins, specLosses *obs.Counter
@@ -696,18 +915,48 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 	// durations feeds the speculation threshold even when no registry is
 	// attached (taskSeconds would be a nil no-op then).
 	durations := obs.NewHistogram(taskSecondsBuckets)
-	q := newLocalityQueue()
-	for _, t := range tasks {
-		t.attempt = 0
-		t.inflight = 0
-		t.done = false
-		t.speculated = false
-		t.pendingSpec = false
-		q.push(t)
-	}
-	remaining := len(tasks)
+	q := newLocalityQueue(j.Cluster)
+	var (
+		exhausted bool    // the feed returned its final task
+		pending   int     // minted tasks not yet committed or failed
+		filling   bool    // a refill is in progress (its pull may yield)
+		tracked   []*task // minted tasks the speculator scans
+	)
 	wg := k.NewWaitGroup()
-	wg.Add(len(tasks))
+	// The source token keeps the wait group open until the feed drains,
+	// when the per-task holds take over.
+	wg.Add(1)
+	refill := func(rp *sim.Proc) {
+		if filling || exhausted {
+			return
+		}
+		filling = true
+		for !exhausted && q.live < window {
+			t, err := feed(rp)
+			if err != nil {
+				fail(err)
+				t = nil
+			}
+			if t == nil {
+				exhausted = true
+				wg.Done() // release the source token
+				break
+			}
+			t.attempt = 0
+			t.inflight = 0
+			t.done = false
+			t.speculated = false
+			t.pendingSpec = false
+			pending++
+			wg.Add(1)
+			if speculative {
+				tracked = append(tracked, t)
+			}
+			q.push(t)
+		}
+		filling = false
+	}
+	refill(p)
 	for _, node := range j.Cluster.Nodes {
 		slots := j.SlotsPerNode
 		if slots <= 0 {
@@ -722,29 +971,57 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 			s := s
 			k.Go(fmt.Sprintf("%s/%s/%s-worker", j.Name, phase, node.Name), func(wp *sim.Proc) {
 				misses := 0
+				// The steal threshold grows with the tiers this node's
+				// topology offers: 3 delay beats per tier.
+				stealAt := 3
+				if node.Rack != "" {
+					stealAt = 6
+				}
+				if node.Zone != "" {
+					stealAt = 9
+				}
+				pull := func() *task {
+					if t := q.pickLocal(node.Name); t != nil {
+						return t
+					}
+					if misses >= 3 && node.Rack != "" {
+						if t := q.pickRack(node.Rack); t != nil {
+							return t
+						}
+					}
+					if misses >= 6 && node.Zone != "" {
+						if t := q.pickZone(node.Zone); t != nil {
+							return t
+						}
+					}
+					if misses >= stealAt {
+						return q.pickAny()
+					}
+					return nil
+				}
 				for {
-					t := q.pickLocal(node.Name)
+					// Refill before picking so the queue never starves
+					// while the feed still has tasks.
+					if !exhausted && q.live <= window/2 {
+						refill(wp)
+					}
+					t := pull()
 					if t == nil {
 						if q.empty() {
-							if !speculative || remaining == 0 {
+							if exhausted && (!speculative || pending == 0) {
 								return
 							}
-							// Speculation may still queue backups; idle
-							// until every task has committed or failed.
+							// The feed may refill, or speculation may
+							// still queue backups; idle until every task
+							// has committed or failed.
 							wp.Sleep(0.25)
 							continue
 						}
-						// Delay scheduling: give preferred nodes a few
-						// beats before stealing their tasks.
-						if misses < 3 {
-							misses++
-							wp.Sleep(0.2)
-							continue
-						}
-						t = q.pickAny()
-						if t == nil {
-							return
-						}
+						// Delay scheduling: give closer tiers a few beats
+						// before widening the search.
+						misses++
+						wp.Sleep(0.2)
+						continue
 					}
 					misses = 0
 					if t.done {
@@ -818,7 +1095,7 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 							continue
 						}
 						fail(err)
-						remaining--
+						pending--
 						wg.Done()
 						continue
 					}
@@ -845,7 +1122,7 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 					tc.commitCounters()
 					commit()
 					*stats = append(*stats, ts)
-					remaining--
+					pending--
 					wg.Done()
 				}
 			})
@@ -865,9 +1142,9 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 			minDone = 1
 		}
 		k.Go(fmt.Sprintf("%s/%s-speculator", j.Name, phase), func(sp *sim.Proc) {
-			for remaining > 0 {
+			for !exhausted || pending > 0 {
 				sp.Sleep(interval)
-				if remaining == 0 {
+				if exhausted && pending == 0 {
 					return
 				}
 				if int(durations.Count()) < minDone {
@@ -877,8 +1154,15 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 				if threshold <= 0 {
 					continue
 				}
-				for _, t := range tasks {
-					if t.done || t.speculated || t.inflight != 1 || t.attempt >= maxAttempts {
+				// Scan the minted tasks, dropping committed ones so the
+				// scan set tracks the window rather than the whole job.
+				live := tracked[:0]
+				for _, t := range tracked {
+					if t.done {
+						continue
+					}
+					live = append(live, t)
+					if t.speculated || t.inflight != 1 || t.attempt >= maxAttempts {
 						continue
 					}
 					if sp.Now()-t.started <= threshold {
@@ -888,6 +1172,10 @@ func (j *Job) runPhase(p *sim.Proc, phase string, tasks []*task, startup float64
 					t.pendingSpec = true
 					q.push(t)
 				}
+				for i := len(live); i < len(tracked); i++ {
+					tracked[i] = nil
+				}
+				tracked = live
 			}
 		})
 	}

@@ -12,14 +12,24 @@
 // fabric, local-versus-remote reads) the SciDP paper's measurements hinge
 // on.
 //
+// Scale: both hot structures are built for O(100k)-node sweeps. The event
+// queue is a by-value 4-ary heap (no per-event allocation beyond the
+// callback closure, no container/heap interface boxing). Fair-share is
+// incremental: each resource caches its current per-flow share and an
+// index of the flows crossing it, each flow carries an absolute completion
+// deadline in an indexed heap, and a membership change re-rates only the
+// flows crossing resources whose share actually changed — O(degree of the
+// change), not O(total flows). A flow's progress is settled lazily, only
+// at the instants its own rate changes, so an undisturbed flow costs
+// nothing while others churn. See DESIGN.md "Scale".
+//
 // Time is a float64 in seconds. Sizes are float64 bytes.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 
 	"scidp/internal/obs"
@@ -28,26 +38,95 @@ import (
 // epsBytes is the slack under which a flow's remaining bytes count as zero.
 const epsBytes = 1e-6
 
-// event is a scheduled callback.
+// event is a scheduled callback, stored by value in the queue.
 type event struct {
 	at  float64
 	seq uint64
 	fn  func()
 }
 
-// eventHeap orders events by (time, insertion sequence) for determinism.
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (time, insertion sequence) for determinism.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// eventQueue is a 4-ary min-heap of events by value. 4-ary halves the
+// tree depth of a binary heap and keeps siblings on one cache line —
+// the classic d-ary trade of cheaper sift-downs for one extra compare —
+// and storing events by value removes the per-event box and the
+// container/heap interface dispatch of the previous implementation.
+// The backing array is reused across pushes and pops (pooled storage).
+type eventQueue []event
+
+func (q *eventQueue) push(e event) {
+	h := *q
+	i := len(h)
+	h = append(h, e)
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+	*q = h
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	last := h[len(h)-1]
+	h = h[:len(h)-1]
+	n := len(h)
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			best := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].before(h[best]) {
+					best = j
+				}
+			}
+			if !h[best].before(last) {
+				break
+			}
+			h[i] = h[best]
+			i = best
+		}
+		h[i] = last
+	}
+	*q = h
+	return top
+}
+
+// FairShareMode selects the kernel's rate-recomputation strategy.
+type FairShareMode int
+
+const (
+	// FairShareIncremental (the default) re-rates only flows crossing
+	// resources whose per-flow share changed — O(degree) per membership
+	// change.
+	FairShareIncremental FairShareMode = iota
+	// FairShareFull recomputes every active resource's share and every
+	// flow's rate on every change — the brute-force oracle. It performs
+	// the identical arithmetic in the identical order per flow, so its
+	// rates, completion times, traces, and exports are byte-identical to
+	// the incremental mode's; it exists for tests and benchmarks.
+	FairShareFull
+)
 
 // Kernel is the simulation engine. Create one with NewKernel, start
 // processes with Go, then call Run to execute until no work remains.
@@ -55,16 +134,31 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 type Kernel struct {
 	now        float64
 	seq        uint64
-	events     eventHeap
-	flows      map[*Flow]struct{}
-	flowSeq    uint64
-	lastSettle float64
-	flowEpoch  uint64 // invalidates stale completion events
-	failure    error  // first process panic, re-raised by Run
-	liveProcs  int
-	tracer     *Tracer
-	obs        *obs.Registry
-	pool       *ComputePool // data plane; see compute.go
+	events     eventQueue
+	eventCount uint64
+	mode       FairShareMode
+
+	// flowHeap is the live-flow set, an indexed 4-ary min-heap ordered by
+	// (deadline, id); Flow.hpos is the element's position + 1.
+	flowHeap []*Flow
+	flowSeq  uint64
+	// flowEpoch invalidates stale completion events; schedAt/schedValid
+	// dedupe re-scheduling when the earliest deadline is unchanged.
+	flowEpoch  uint64
+	schedAt    float64
+	schedValid bool
+	// activeRes tracks every resource with >= 1 flow (for RefreshRates
+	// and FairShareFull); dirtyRes and touched are reusable scratch.
+	activeRes []*Resource
+	dirtyRes  []*Resource
+	touched   []*Flow
+	markSeq   uint64
+
+	failure   error // first process panic, re-raised by Run
+	liveProcs int
+	tracer    *Tracer
+	obs       *obs.Registry
+	pool      *ComputePool // data plane; see compute.go
 }
 
 // SetObs attaches (or detaches, with nil) an observability registry.
@@ -79,13 +173,25 @@ func (k *Kernel) SetObs(r *obs.Registry) {
 // is safe to use: all obs handles no-op.
 func (k *Kernel) Obs() *obs.Registry { return k.obs }
 
+// SetFairShareMode selects the rate-recomputation strategy. Both modes
+// produce byte-identical simulations (FairShareFull is the verification
+// oracle); set it before starting flows.
+func (k *Kernel) SetFairShareMode(m FairShareMode) { k.mode = m }
+
 // NewKernel returns an empty kernel at virtual time zero.
 func NewKernel() *Kernel {
-	return &Kernel{flows: make(map[*Flow]struct{})}
+	return &Kernel{}
 }
 
 // Now returns the current virtual time in seconds.
 func (k *Kernel) Now() float64 { return k.now }
+
+// EventsProcessed reports how many events the kernel has executed — the
+// scale benchmarks' throughput denominator.
+func (k *Kernel) EventsProcessed() uint64 { return k.eventCount }
+
+// ActiveFlows reports the number of in-flight flows.
+func (k *Kernel) ActiveFlows() int { return len(k.flowHeap) }
 
 // schedule enqueues fn to run at virtual time at (>= now).
 func (k *Kernel) schedule(at float64, fn func()) {
@@ -93,7 +199,7 @@ func (k *Kernel) schedule(at float64, fn func()) {
 		at = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+	k.events.push(event{at: at, seq: k.seq, fn: fn})
 }
 
 // After schedules fn to run d seconds from now. It is the low-level timer
@@ -105,16 +211,19 @@ func (k *Kernel) After(d float64, fn func()) {
 	k.schedule(k.now+d, fn)
 }
 
-// RefreshRates settles every in-flight flow at the current instant and
-// reassigns fair-share rates from the resources' *current* capacities.
-// Rates are normally recomputed only at flow-membership changes, which
-// re-read Capacity as a side effect; a caller that mutates a resource's
-// Capacity mid-flight (e.g. a fault injector degrading an OST) must call
-// this for the change to reach flows already in progress. Must be called
-// from kernel context (an event callback or a Proc body).
+// RefreshRates re-reads every active resource's Capacity and PerFlowCap
+// and re-rates the flows crossing those whose fair share changed. Rates
+// are normally recomputed only at flow-membership changes, which refresh
+// the shares of the resources the flow crosses as a side effect; a caller
+// that mutates a resource's Capacity mid-flight (e.g. a fault injector
+// degrading an OST) must call this for the change to reach flows already
+// in progress. Must be called from kernel context (an event callback or a
+// Proc body).
 func (k *Kernel) RefreshRates() {
-	k.settleFlows()
-	k.recomputeFlows()
+	for _, r := range k.activeRes {
+		k.markDirty(r)
+	}
+	k.rebalance(nil)
 }
 
 // Run executes events until the queue drains. It panics with the original
@@ -122,10 +231,11 @@ func (k *Kernel) RefreshRates() {
 // (e.g. after starting more processes).
 func (k *Kernel) Run() {
 	for len(k.events) > 0 {
-		e := heap.Pop(&k.events).(*event)
+		e := k.events.pop()
 		if e.at > k.now {
 			k.now = e.at
 		}
+		k.eventCount++
 		e.fn()
 		if k.failure != nil {
 			panic(k.failure)
@@ -221,6 +331,14 @@ func (p *Proc) Sleep(d float64) {
 // current instant.
 func (p *Proc) Yield() { p.Sleep(0) }
 
+// flowRef is one entry in a resource's flow index: the flow plus the
+// position of the resource within the flow's own chain, so removal can
+// repair the reverse index in O(1).
+type flowRef struct {
+	f  *Flow
+	ri int32
+}
+
 // Resource is a bandwidth-capacity device: a disk, a NIC, a switch fabric,
 // an OST. Concurrent flows crossing it share its capacity fairly.
 type Resource struct {
@@ -237,6 +355,17 @@ type Resource struct {
 	Latency float64
 
 	active int
+	// share is the cached per-flow fair share at the current membership
+	// (Capacity/active, capped by PerFlowCap); flows read it instead of
+	// re-dividing.
+	share float64
+	// flows indexes every flow crossing the resource; order is
+	// maintenance order and never observable.
+	flows []flowRef
+	// aidx is position+1 in Kernel.activeRes (0 = inactive); dirty marks
+	// membership in Kernel.dirtyRes.
+	aidx  int
+	dirty bool
 }
 
 // NewResource returns a resource with the given aggregate capacity in
@@ -248,6 +377,18 @@ func NewResource(name string, capacity float64) *Resource {
 // Active reports how many flows currently cross the resource.
 func (r *Resource) Active() int { return r.active }
 
+// shareNow computes the resource's current per-flow fair share.
+func (r *Resource) shareNow() float64 {
+	if r.active == 0 {
+		return 0
+	}
+	share := r.Capacity / float64(r.active)
+	if r.PerFlowCap > 0 && share > r.PerFlowCap {
+		share = r.PerFlowCap
+	}
+	return share
+}
+
 // Flow is an in-flight transfer across a set of resources.
 type Flow struct {
 	id        uint64
@@ -257,94 +398,302 @@ type Flow struct {
 	res       []*Resource
 	onDone    func()
 	span      *obs.Span
+
+	// settledAt is the instant remaining was last materialized; a flow
+	// settles only when its own rate changes (or it completes), so an
+	// undisturbed flow is never touched while others churn.
+	settledAt float64
+	// deadline is the absolute completion time at the current rate
+	// (+Inf when stalled); it keys the kernel's flow heap.
+	deadline float64
+	// hpos is position+1 in Kernel.flowHeap (0 = not enqueued).
+	hpos int
+	// resIdx mirrors res: position of this flow inside each resource's
+	// flow index.
+	resIdx []int32
+	// mark dedupes membership in Kernel.touched per rebalance.
+	mark uint64
 }
 
 // ID returns the kernel-unique flow id, matching TraceEvent.Flow.
 func (f *Flow) ID() uint64 { return f.id }
 
 // Remaining reports the bytes the flow still has to move (settled to the
-// last recompute instant; callers outside the kernel should treat it as
+// flow's last rate change; callers outside the kernel should treat it as
 // approximate).
 func (f *Flow) Remaining() float64 { return f.remaining }
 
-// settleFlows advances every active flow's remaining-bytes to the current
-// instant using the rates fixed at the previous recompute.
-func (k *Kernel) settleFlows() {
-	dt := k.now - k.lastSettle
-	if dt > 0 {
-		for f := range k.flows {
-			f.remaining -= f.rate * dt
-		}
+// settle materializes the flow's progress at the current instant using
+// the rate fixed at its previous rate change.
+func (k *Kernel) settle(f *Flow) {
+	if dt := k.now - f.settledAt; dt > 0 {
+		f.remaining -= f.rate * dt
 	}
-	k.lastSettle = k.now
+	f.settledAt = k.now
 }
 
-// recomputeFlows reassigns every flow's fair-share rate and schedules the
-// next completion event.
-func (k *Kernel) recomputeFlows() {
-	k.flowEpoch++
-	if len(k.flows) == 0 {
+// flowLess orders the flow heap by (deadline, id).
+func flowLess(a, b *Flow) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	return a.id < b.id
+}
+
+// heapFix restores the 4-ary heap invariant around position i.
+func (k *Kernel) heapFix(i int) {
+	h := k.flowHeap
+	f := h[i]
+	// Sift up.
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !flowLess(f, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].hpos = i + 1
+		i = parent
+	}
+	// Sift down.
+	n := len(h)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if flowLess(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !flowLess(h[best], f) {
+			break
+		}
+		h[i] = h[best]
+		h[i].hpos = i + 1
+		i = best
+	}
+	h[i] = f
+	f.hpos = i + 1
+}
+
+// heapPush adds f to the flow heap.
+func (k *Kernel) heapPush(f *Flow) {
+	k.flowHeap = append(k.flowHeap, f)
+	k.heapFix(len(k.flowHeap) - 1)
+}
+
+// heapRemove takes f out of the flow heap.
+func (k *Kernel) heapRemove(f *Flow) {
+	i := f.hpos - 1
+	f.hpos = 0
+	h := k.flowHeap
+	last := len(h) - 1
+	if i != last {
+		h[i] = h[last]
+		h[i].hpos = i + 1
+		k.flowHeap = h[:last]
+		k.heapFix(i)
+	} else {
+		k.flowHeap = h[:last]
+	}
+	h[last] = nil
+}
+
+// markDirty queues r for share recomputation in the next rebalance.
+func (k *Kernel) markDirty(r *Resource) {
+	if !r.dirty {
+		r.dirty = true
+		k.dirtyRes = append(k.dirtyRes, r)
+	}
+}
+
+// attach indexes f on each of its resources, bumping their active counts
+// and marking them dirty.
+func (k *Kernel) attach(f *Flow) {
+	f.resIdx = make([]int32, len(f.res))
+	for i, r := range f.res {
+		if r.active == 0 {
+			r.aidx = len(k.activeRes) + 1
+			k.activeRes = append(k.activeRes, r)
+		}
+		r.active++
+		f.resIdx[i] = int32(len(r.flows))
+		r.flows = append(r.flows, flowRef{f: f, ri: int32(i)})
+		k.markDirty(r)
+	}
+}
+
+// detach removes f from each of its resources (swap-remove, repairing the
+// moved entry's reverse index), marking them dirty.
+func (k *Kernel) detach(f *Flow) {
+	for i, r := range f.res {
+		pos := f.resIdx[i]
+		last := len(r.flows) - 1
+		moved := r.flows[last]
+		r.flows[pos] = moved
+		moved.f.resIdx[moved.ri] = pos
+		r.flows[last] = flowRef{}
+		r.flows = r.flows[:last]
+		r.active--
+		if r.active == 0 {
+			// Swap-remove from the active-resource list.
+			ai := r.aidx - 1
+			lastR := len(k.activeRes) - 1
+			k.activeRes[ai] = k.activeRes[lastR]
+			k.activeRes[ai].aidx = ai + 1
+			k.activeRes[lastR] = nil
+			k.activeRes = k.activeRes[:lastR]
+			r.aidx = 0
+			r.share = 0
+		}
+		k.markDirty(r)
+	}
+}
+
+// reRate recomputes f's fair-share rate from its resources' cached
+// shares; if the rate changed the flow settles and gets a new deadline.
+func (k *Kernel) reRate(f *Flow) {
+	rate := math.Inf(1)
+	for _, r := range f.res {
+		if r.share < rate {
+			rate = r.share
+		}
+	}
+	if math.IsInf(rate, 1) {
+		// Flow crosses no resources: completes instantly.
+		rate = math.MaxFloat64
+	}
+	if rate == f.rate && f.hpos != 0 {
 		return
 	}
-	minETA := math.Inf(1)
-	for f := range k.flows {
-		rate := math.Inf(1)
-		for _, r := range f.res {
-			share := r.Capacity / float64(r.active)
-			if r.PerFlowCap > 0 && share > r.PerFlowCap {
-				share = r.PerFlowCap
+	k.settle(f)
+	f.rate = rate
+	if f.rate > 0 {
+		eta := f.remaining / f.rate
+		if eta < 0 {
+			eta = 0
+		}
+		f.deadline = k.now + eta
+	} else {
+		f.deadline = math.Inf(1)
+	}
+	if f.hpos == 0 {
+		k.heapPush(f)
+	} else {
+		k.heapFix(f.hpos - 1)
+	}
+}
+
+// rebalance is the single fair-share recomputation point: it refreshes
+// the shares of dirty resources, re-rates the affected flows (plus the
+// just-started one, which must be rated even when no share moved — a
+// PerFlowCap can hold a share constant across a membership change), and
+// (re)schedules the completion event for the earliest deadline.
+// In FairShareFull mode every active resource and every flow is visited
+// instead; the per-flow arithmetic is identical, so both modes produce
+// byte-identical simulations.
+func (k *Kernel) rebalance(started *Flow) {
+	k.markSeq++
+	mark := k.markSeq
+	touched := k.touched[:0]
+	if k.mode == FairShareFull {
+		for _, r := range k.activeRes {
+			r.share = r.shareNow()
+		}
+		touched = append(touched, k.flowHeap...)
+		if started != nil && started.mark != mark && started.hpos == 0 {
+			touched = append(touched, started)
+		}
+	} else {
+		for _, r := range k.dirtyRes {
+			share := r.shareNow()
+			if share == r.share && r.active > 0 {
+				continue
 			}
-			if share < rate {
-				rate = share
+			r.share = share
+			for _, fr := range r.flows {
+				if fr.f.mark != mark {
+					fr.f.mark = mark
+					touched = append(touched, fr.f)
+				}
 			}
 		}
-		if math.IsInf(rate, 1) {
-			// Flow crosses no resources: completes instantly.
-			rate = math.MaxFloat64
-		}
-		f.rate = rate
-		if f.rate > 0 {
-			eta := f.remaining / f.rate
-			if eta < 0 {
-				eta = 0
-			}
-			if eta < minETA {
-				minETA = eta
-			}
+		if started != nil && started.mark != mark {
+			started.mark = mark
+			touched = append(touched, started)
 		}
 	}
-	if math.IsInf(minETA, 1) {
-		return // all flows stalled on zero-capacity resources
+	for _, r := range k.dirtyRes {
+		r.dirty = false
 	}
+	k.dirtyRes = k.dirtyRes[:0]
+	for _, f := range touched {
+		k.reRate(f)
+	}
+	k.touched = touched[:0]
+	k.scheduleCompletion()
+}
+
+// scheduleCompletion arms (or re-arms) the completion event for the
+// earliest flow deadline. An unchanged earliest deadline keeps the
+// already-pending event; otherwise the epoch bump invalidates it and a
+// fresh event is scheduled.
+func (k *Kernel) scheduleCompletion() {
+	if len(k.flowHeap) == 0 || math.IsInf(k.flowHeap[0].deadline, 1) {
+		// Nothing to complete (or all flows stalled on zero-capacity
+		// resources): cancel any pending completion.
+		if k.schedValid {
+			k.flowEpoch++
+			k.schedValid = false
+		}
+		return
+	}
+	at := k.flowHeap[0].deadline
+	if k.schedValid && at == k.schedAt {
+		return
+	}
+	k.flowEpoch++
+	k.schedAt = at
+	k.schedValid = true
 	epoch := k.flowEpoch
-	k.schedule(k.now+minETA, func() {
+	k.schedule(at, func() {
 		if epoch != k.flowEpoch {
 			return // superseded by a later membership change
 		}
+		k.schedValid = false
 		k.completeFlows()
 	})
 }
 
-// completeFlows settles progress, finishes every flow that has drained,
-// fires completion callbacks in flow-start order, and recomputes rates.
+// completeFlows finishes every flow whose deadline has arrived, fires
+// completion callbacks in flow-start order, and rebalances the rest.
 func (k *Kernel) completeFlows() {
-	k.settleFlows()
 	var done []*Flow
-	for f := range k.flows {
-		if f.remaining <= epsBytes {
-			done = append(done, f)
-		}
+	for len(k.flowHeap) > 0 && k.flowHeap[0].deadline <= k.now {
+		f := k.flowHeap[0]
+		k.heapRemove(f)
+		done = append(done, f)
 	}
-	sort.Slice(done, func(i, j int) bool { return done[i].id < done[j].id })
-	for _, f := range done {
-		delete(k.flows, f)
-		for _, r := range f.res {
-			r.active--
+	slices.SortFunc(done, func(a, b *Flow) int {
+		if a.id < b.id {
+			return -1
 		}
+		return 1
+	})
+	for _, f := range done {
+		f.remaining = 0
+		f.settledAt = k.now
+		k.detach(f)
 		k.traceFlowEnd(f)
 		f.span.End()
 	}
-	k.recomputeFlows()
+	k.rebalance(nil)
 	for _, f := range done {
 		if f.onDone != nil {
 			f.onDone()
@@ -384,12 +733,9 @@ func (k *Kernel) startFlow(bytes float64, onDone func(), parent *obs.Span, res .
 		})
 		return f
 	}
-	k.settleFlows()
-	k.flows[f] = struct{}{}
-	for _, r := range res {
-		r.active++
-	}
-	k.recomputeFlows()
+	f.settledAt = k.now
+	k.attach(f)
+	k.rebalance(f)
 	return f
 }
 

@@ -428,7 +428,7 @@ func TestRatesNeverExceedCapacity(t *testing.T) {
 	disk := NewResource("disk", 100)
 	check := func() {
 		var sum float64
-		for f := range k.flows {
+		for _, f := range k.flowHeap {
 			crosses := false
 			for _, r := range f.res {
 				if r == disk {

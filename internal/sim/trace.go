@@ -2,7 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"scidp/internal/obs"
@@ -130,11 +130,14 @@ func (t *Tracer) Busiest() []string {
 	for n := range totals {
 		names = append(names, n)
 	}
-	sort.Slice(names, func(i, j int) bool {
-		if totals[names[i]] != totals[names[j]] {
-			return totals[names[i]] > totals[names[j]]
+	slices.SortFunc(names, func(a, b string) int {
+		if totals[a] != totals[b] {
+			if totals[a] > totals[b] {
+				return -1
+			}
+			return 1
 		}
-		return names[i] < names[j]
+		return strings.Compare(a, b)
 	})
 	return names
 }
@@ -210,7 +213,7 @@ func (t *Tracer) ExportResourceMetrics(reg *obs.Registry) {
 	for n := range aggs {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, n := range names {
 		a := aggs[n]
 		if a.active > 0 { // flows still open when the buffer ended

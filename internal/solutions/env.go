@@ -128,6 +128,11 @@ type EnvConfig struct {
 	// determinism reference the pooled modes are compared against.
 	// Call Env.Close when done with a pooled env.
 	Workers int
+	// FairShare selects the kernel's fair-share recomputation strategy:
+	// the default incremental path, or the brute-force full-recompute
+	// oracle (byte-identical results; used by scheduler-equivalence
+	// tests and benchmarks).
+	FairShare sim.FairShareMode
 }
 
 // DefaultEnvConfig mirrors the paper's 8-node testbed at the given scale
@@ -215,6 +220,7 @@ func NewEnv(cfg EnvConfig) *Env {
 		cfg.Cost = DefaultCostModel()
 	}
 	k := sim.NewKernel()
+	k.SetFairShareMode(cfg.FairShare)
 	bd := cluster.New(k, "bd", cluster.DefaultHardware(cfg.Nodes, cfg.SlotsPerNode).Scaled(cfg.ByteScale))
 	pcfg := pfs.DefaultConfig().Scaled(cfg.ByteScale)
 	pfsFS := pfs.New(k, pcfg)
