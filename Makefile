@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-paper obs-smoke chaos-smoke scale-smoke
+.PHONY: check fmt vet build test race bench bench-paper obs-smoke chaos-smoke scale-smoke query-smoke
 
 # check is the CI gate: formatting, vet, build, full tests, the race
 # detector across the whole module (the data-plane compute pool makes
 # real goroutine concurrency reachable from every package), and the
-# observability, chaos, and scale smoke tests.
-check: fmt vet build test race obs-smoke chaos-smoke scale-smoke
+# observability, chaos, scale, and query smoke tests.
+check: fmt vet build test race obs-smoke chaos-smoke scale-smoke query-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -50,6 +50,15 @@ obs-smoke:
 scale-smoke:
 	@$(GO) run ./cmd/scidp-bench -exp scale -quick -scale-floor 50000 > /dev/null && \
 		echo "scale-smoke: throughput floor held"
+
+# query-smoke runs the quick chunk-pushdown query sweep and fails if any
+# query's skip ratio (chunks decoded and bytes inflated, oracle over
+# pushdown) drops below 5x. The experiment itself fails hard when the
+# pushdown and oracle result frames differ or a same-seed repeat's
+# metric export diverges, so this also guards result correctness.
+query-smoke:
+	@$(GO) run ./cmd/scidp-bench -exp query -quick -query-floor 5 > /dev/null && \
+		echo "query-smoke: pushdown floor held, digests matched"
 
 # chaos-smoke runs the quick fault-injection sweep and asserts every run
 # completed with output byte-identical to the fault-free baseline, the

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	ncdump [-chunks] file.nc
+//	ncdump [-chunks] [-s] file.nc
+//
+// -s additionally prints the per-chunk zone-map statistics (min, max,
+// element count, fill count) the writer records in the header — the
+// numbers the pushdown query planner prunes with.
 package main
 
 import (
@@ -20,10 +24,14 @@ import (
 
 func main() {
 	chunks := flag.Bool("chunks", false, "also print the per-chunk index")
+	stats := flag.Bool("s", false, "also print per-chunk zone-map statistics (implies -chunks)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ncdump [-chunks] <file>")
+		fmt.Fprintln(os.Stderr, "usage: ncdump [-chunks] [-s] <file>")
 		os.Exit(2)
+	}
+	if *stats {
+		*chunks = true
 	}
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -33,16 +41,22 @@ func main() {
 	r := netcdf.BytesReader(data)
 	switch {
 	case netcdf.Detect(r):
-		dumpNetCDF(flag.Arg(0), r, *chunks)
+		dumpNetCDF(flag.Arg(0), r, *chunks, *stats)
 	case hdf5lite.IsHDF5(r):
-		dumpHDF5(flag.Arg(0), r, *chunks)
+		dumpHDF5(flag.Arg(0), r, *chunks, *stats)
 	default:
 		fmt.Fprintf(os.Stderr, "ncdump: %s: not a recognized scientific format\n", flag.Arg(0))
 		os.Exit(1)
 	}
 }
 
-func dumpNetCDF(name string, r netcdf.ReaderAt, chunks bool) {
+// ncStats renders one chunk's zone map, or a marker for legacy files
+// written before stats existed.
+func ncStats(min, max float64, count, fill int64) string {
+	return fmt.Sprintf(" stats[min=%g max=%g count=%d fill=%d]", min, max, count, fill)
+}
+
+func dumpNetCDF(name string, r netcdf.ReaderAt, chunks, stats bool) {
 	f, err := netcdf.Open(r)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ncdump: %v\n", err)
@@ -73,8 +87,16 @@ func dumpNetCDF(name string, r netcdf.ReaderAt, chunks bool) {
 			v.Name, v.RawBytes(), v.StoredBytes(), len(v.Chunks))
 		if chunks {
 			for i, c := range v.Chunks {
-				fmt.Printf("\t\t  chunk %d: index=%v offset=%d stored=%d raw=%d\n",
+				fmt.Printf("\t\t  chunk %d: index=%v offset=%d stored=%d raw=%d",
 					i, c.Index, c.Offset, c.StoredSize, c.RawSize)
+				if stats {
+					if c.Stats != nil {
+						fmt.Print(ncStats(c.Stats.Min, c.Stats.Max, c.Stats.Count, c.Stats.Fill))
+					} else {
+						fmt.Print(" stats[none]")
+					}
+				}
+				fmt.Println()
 			}
 		}
 	}
@@ -97,7 +119,7 @@ func attrValue(a netcdf.Attr) string {
 	return "?"
 }
 
-func dumpHDF5(name string, r scifmt.ReaderAt, chunks bool) {
+func dumpHDF5(name string, r scifmt.ReaderAt, chunks, stats bool) {
 	f, err := hdf5lite.Open(r)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ncdump: %v\n", err)
@@ -114,8 +136,16 @@ func dumpHDF5(name string, r scifmt.ReaderAt, chunks bool) {
 				indent, d.Type, d.Name, d.Shape, d.ChunkRows, d.Deflate, len(d.Chunks), d.RawBytes(), d.StoredBytes())
 			if chunks {
 				for i, c := range d.Chunks {
-					fmt.Printf("%s  chunk %d: rows [%d,+%d) offset=%d stored=%d\n",
+					fmt.Printf("%s  chunk %d: rows [%d,+%d) offset=%d stored=%d",
 						indent, i, c.RowStart, c.Rows, c.Offset, c.StoredSize)
+					if stats {
+						if c.Stats != nil {
+							fmt.Print(ncStats(c.Stats.Min, c.Stats.Max, c.Stats.Count, c.Stats.Fill))
+						} else {
+							fmt.Print(" stats[none]")
+						}
+					}
+					fmt.Println()
 				}
 			}
 		}

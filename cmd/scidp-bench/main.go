@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|faults|parallel|ablations|ioengine|scale]
+//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|faults|parallel|ablations|ioengine|scale|query]
 //	            [-quick] [-trace out.json] [-metrics out.prom] [-json out.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-scale-floor N]
+//	            [-query-floor X]
 //
 // -quick runs a reduced geometry and smaller sweeps (seconds instead of
 // minutes). Output is one aligned text table per experiment, with paper
@@ -22,7 +23,10 @@
 // process itself (inspect with `go tool pprof`) — the intended workflow
 // for chasing simulator hot spots. -scale-floor makes -exp scale exit
 // non-zero when any sweep point falls below the given events/sec — the
-// CI guard against kernel throughput regressions.
+// CI guard against kernel throughput regressions. -query-floor makes
+// -exp query exit non-zero when any query's skip ratio (oracle chunks
+// decoded or bytes inflated over pushdown's) falls below X — the CI
+// guard against pushdown pruning regressions.
 package main
 
 import (
@@ -40,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine, scale)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine, scale, query)")
 	quick := flag.Bool("quick", false, "reduced geometry and sweep sizes")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the simulated runs to this file")
@@ -49,6 +53,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	scaleFloor := flag.Float64("scale-floor", 0, "with -exp scale: fail unless every sweep point sustains this many events/sec")
+	queryFloor := flag.Float64("query-floor", 0, "with -exp query: fail unless every query prunes at least this ratio of chunks and bytes vs the oracle")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -227,8 +232,25 @@ func main() {
 		}
 		ran = true
 	}
+	if want("query") {
+		t, qr, err := bench.RunQuery(scale)
+		if err != nil {
+			emit(nil, err)
+		}
+		emit(t, nil)
+		if *jsonPath != "" {
+			writeJSON(*jsonPath, qr)
+		}
+		if *queryFloor > 0 {
+			if minSkip := qr.MinSkipRatio(); minSkip < *queryFloor {
+				fmt.Fprintf(os.Stderr, "scidp-bench: query floor violated: weakest query pruned %.2fx, floor %.2fx\n", minSkip, *queryFloor)
+				os.Exit(1)
+			}
+		}
+		ran = true
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine, scale)\n", *exp)
+		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine, scale, query)\n", *exp)
 		os.Exit(2)
 	}
 

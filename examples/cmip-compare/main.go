@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"sort"
+	"slices"
 
 	"scidp/internal/core"
 	"scidp/internal/mapreduce"
@@ -109,7 +109,7 @@ func main() {
 	})
 	env.K.Run()
 
-	sort.Slice(results, func(i, j int) bool { return results[i].t < results[j].t })
+	slices.SortFunc(results, func(a, b cmp) int { return a.t - b.t })
 	fmt.Println("\nmodel A vs model B, variable QR:")
 	fmt.Println("timestamp  RMS difference  mean bias")
 	for _, r := range results {

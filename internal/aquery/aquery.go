@@ -1,0 +1,293 @@
+// Package aquery adapts the scientific formats' chunked variables to the
+// rsql array-query planner: a netcdf variable or hdf5lite dataset becomes
+// an rsql.ArrayTable whose per-chunk metadata carries the write-time zone
+// maps (so WHERE predicates prune chunks before any I/O), whose
+// coordinate columns are computed from chunk geometry instead of being
+// materialized, and whose payload reads go through the engine's
+// single-pass scan path (cache may serve, never fills on a miss).
+package aquery
+
+import (
+	"fmt"
+	"math"
+
+	"scidp/internal/hdf5lite"
+	"scidp/internal/ioengine"
+	"scidp/internal/netcdf"
+	"scidp/internal/rsql"
+	"scidp/internal/sim"
+)
+
+// Option customizes a table adapter.
+type Option func(*options)
+
+type options struct {
+	value  string
+	consts []constCol
+}
+
+type constCol struct {
+	name string
+	v    float64
+}
+
+// WithValue renames the payload column (default "value").
+func WithValue(name string) Option { return func(o *options) { o.value = name } }
+
+// WithConst adds a constant column — how a per-file coordinate like the
+// timestamp joins the schema without being stored. Constants prune like
+// any other column: a predicate excluding the constant skips every chunk.
+func WithConst(name string, v float64) Option {
+	return func(o *options) { o.consts = append(o.consts, constCol{name: name, v: v}) }
+}
+
+// Table is an rsql.ArrayTable over one chunked array. It also implements
+// rsql.Projector: when the plan references no payload column the chunk
+// payloads are never read at all.
+type Table struct {
+	cols        []rsql.ColumnInfo
+	metas       []rsql.ChunkMeta
+	src         ioengine.Source
+	read        func(i int, payload bool) (rsql.Chunk, error)
+	announce    func(chunks []int)
+	valueCol    string
+	needPayload bool
+}
+
+// chunk implements rsql.Chunk via per-column accessor closures.
+type chunk struct {
+	rows int
+	cols map[string]func(int) float64
+}
+
+func (c *chunk) NumRows() int { return c.rows }
+
+func (c *chunk) Col(name string) (func(int) float64, error) {
+	acc := c.cols[name]
+	if acc == nil {
+		return nil, fmt.Errorf("aquery: no column %q", name)
+	}
+	return acc, nil
+}
+
+// Columns implements rsql.ArrayTable.
+func (t *Table) Columns() []rsql.ColumnInfo { return t.cols }
+
+// NumChunks implements rsql.ArrayTable.
+func (t *Table) NumChunks() int { return len(t.metas) }
+
+// Meta implements rsql.ArrayTable.
+func (t *Table) Meta(i int) rsql.ChunkMeta { return t.metas[i] }
+
+// Announce implements rsql.ArrayTable; a projected-out payload needs no
+// staging at all.
+func (t *Table) Announce(chunks []int) {
+	if t.needPayload {
+		t.announce(chunks)
+	}
+}
+
+// Read implements rsql.ArrayTable.
+func (t *Table) Read(i int) (rsql.Chunk, error) { return t.read(i, t.needPayload) }
+
+// Fork implements rsql.ArrayTable on the file's source (the bound
+// process's data plane when the file was opened over ioengine.Bind).
+func (t *Table) Fork(fn func()) *sim.Future { return ioengine.Fork(t.src, fn) }
+
+// Join implements rsql.ArrayTable.
+func (t *Table) Join(futs ...*sim.Future) { ioengine.Join(t.src, futs...) }
+
+// Project implements rsql.Projector: payload decoding is skipped when no
+// referenced column needs it.
+func (t *Table) Project(cols []string) bool {
+	t.needPayload = false
+	for _, c := range cols {
+		if c == t.valueCol {
+			t.needPayload = true
+		}
+	}
+	return t.needPayload
+}
+
+// schema assembles the column list: dimensions (integer coordinates),
+// then constants, then the payload column.
+func schema(dims []string, o *options) ([]rsql.ColumnInfo, error) {
+	var cols []rsql.ColumnInfo
+	seen := map[string]bool{}
+	add := func(c rsql.ColumnInfo) error {
+		if seen[c.Name] {
+			return fmt.Errorf("aquery: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+		cols = append(cols, c)
+		return nil
+	}
+	for _, d := range dims {
+		if err := add(rsql.ColumnInfo{Name: d, Int: true}); err != nil {
+			return nil, err
+		}
+	}
+	for _, cc := range o.consts {
+		if err := add(rsql.ColumnInfo{Name: cc.name, Int: cc.v == math.Trunc(cc.v)}); err != nil {
+			return nil, err
+		}
+	}
+	if err := add(rsql.ColumnInfo{Name: o.value}); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// strides returns the row-major stride per dimension of an extent, so a
+// flat row index maps to coordinates via (row/stride[d]) % extent[d].
+func strides(extent []int) []int {
+	out := make([]int, len(extent))
+	s := 1
+	for d := len(extent) - 1; d >= 0; d-- {
+		out[d] = s
+		s *= extent[d]
+	}
+	return out
+}
+
+func volume(extent []int) int {
+	n := 1
+	for _, e := range extent {
+		n *= e
+	}
+	return n
+}
+
+// geoCols builds the geometry-derived accessors of one chunk: coordinate
+// columns from the chunk box, constant columns from the options.
+func geoCols(dims []string, start, extent []int, o *options) map[string]func(int) float64 {
+	cols := make(map[string]func(int) float64, len(dims)+len(o.consts)+1)
+	str := strides(extent)
+	for di, name := range dims {
+		di := di
+		s0, ex, st := start[di], extent[di], str[di]
+		cols[name] = func(row int) float64 { return float64(s0 + (row/st)%ex) }
+	}
+	for _, cc := range o.consts {
+		v := cc.v
+		cols[cc.name] = func(int) float64 { return v }
+	}
+	return cols
+}
+
+// NewNetCDF adapts one variable of an opened netcdf file. Dimensions
+// become integer coordinate columns named after the variable's dims; the
+// payload becomes the value column. Row order is chunk order × row-major
+// within each chunk.
+func NewNetCDF(f *netcdf.File, varName string, opts ...Option) (*Table, error) {
+	v, err := f.Var(varName)
+	if err != nil {
+		return nil, err
+	}
+	o := &options{value: "value"}
+	for _, fn := range opts {
+		fn(o)
+	}
+	dims := make([]string, len(v.Dims))
+	for i, d := range v.Dims {
+		dims[i] = d.Name
+	}
+	cols, err := schema(dims, o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{cols: cols, src: f.Source(), valueCol: o.value, needPayload: true}
+	for i := range v.Chunks {
+		ci := v.Chunks[i]
+		start, extent := v.ChunkBox(i)
+		bounds := map[string]rsql.Interval{}
+		for di, name := range dims {
+			bounds[name] = rsql.Interval{Lo: float64(start[di]), Hi: float64(start[di] + extent[di] - 1)}
+		}
+		for _, cc := range o.consts {
+			bounds[cc.name] = rsql.Interval{Lo: cc.v, Hi: cc.v}
+		}
+		if ci.Stats != nil {
+			bounds[o.value] = rsql.Interval{Lo: ci.Stats.Min, Hi: ci.Stats.Max}
+		}
+		t.metas = append(t.metas, rsql.ChunkMeta{
+			Rows: volume(extent), RawBytes: ci.RawSize, StoredBytes: ci.StoredSize, Bounds: bounds,
+		})
+	}
+	t.read = func(i int, payload bool) (rsql.Chunk, error) {
+		start, extent := v.ChunkBox(i)
+		cc := geoCols(dims, start, extent, o)
+		if payload {
+			raw, err := f.ScanChunk(v, i)
+			if err != nil {
+				return nil, err
+			}
+			arr := &netcdf.Array{Type: v.Type, Shape: extent, Data: raw}
+			cc[o.value] = arr.Float64At
+		}
+		return &chunk{rows: volume(extent), cols: cc}, nil
+	}
+	t.announce = func(chunks []int) { f.AnnounceChunks(v, chunks) }
+	return t, nil
+}
+
+// NewHDF5 adapts one dataset of an opened hdf5lite file. dimNames names
+// the dataset's dimensions in storage order (the format stores shapes
+// without names); chunking is along the leading dimension.
+func NewHDF5(f *hdf5lite.File, path string, dimNames []string, opts ...Option) (*Table, error) {
+	d, err := f.Find(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(dimNames) != len(d.Shape) {
+		return nil, fmt.Errorf("aquery: %s: %d dim names for rank-%d dataset", path, len(dimNames), len(d.Shape))
+	}
+	o := &options{value: "value"}
+	for _, fn := range opts {
+		fn(o)
+	}
+	cols, err := schema(dimNames, o)
+	if err != nil {
+		return nil, err
+	}
+	box := func(i int) (start, extent []int) {
+		c := d.Chunks[i]
+		start = make([]int, len(d.Shape))
+		extent = append([]int(nil), d.Shape...)
+		start[0], extent[0] = c.RowStart, c.Rows
+		return start, extent
+	}
+	t := &Table{cols: cols, src: f.Source(), valueCol: o.value, needPayload: true}
+	for i := range d.Chunks {
+		c := d.Chunks[i]
+		start, extent := box(i)
+		bounds := map[string]rsql.Interval{}
+		for di, name := range dimNames {
+			bounds[name] = rsql.Interval{Lo: float64(start[di]), Hi: float64(start[di] + extent[di] - 1)}
+		}
+		for _, cc := range o.consts {
+			bounds[cc.name] = rsql.Interval{Lo: cc.v, Hi: cc.v}
+		}
+		if c.Stats != nil {
+			bounds[o.value] = rsql.Interval{Lo: c.Stats.Min, Hi: c.Stats.Max}
+		}
+		t.metas = append(t.metas, rsql.ChunkMeta{
+			Rows: volume(extent), RawBytes: c.RawSize, StoredBytes: c.StoredSize, Bounds: bounds,
+		})
+	}
+	t.read = func(i int, payload bool) (rsql.Chunk, error) {
+		start, extent := box(i)
+		cc := geoCols(dimNames, start, extent, o)
+		if payload {
+			raw, err := f.ScanChunk(d, i)
+			if err != nil {
+				return nil, err
+			}
+			typ := d.Type
+			cc[o.value] = func(row int) float64 { return hdf5lite.Float64At(typ, raw, row) }
+		}
+		return &chunk{rows: volume(extent), cols: cc}, nil
+	}
+	t.announce = func(chunks []int) { f.AnnounceChunks(d, chunks) }
+	return t, nil
+}

@@ -1,0 +1,287 @@
+package aquery
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"scidp/internal/hdf5lite"
+	"scidp/internal/ioengine"
+	"scidp/internal/netcdf"
+	"scidp/internal/obs"
+	"scidp/internal/rframe"
+	"scidp/internal/rsql"
+	"scidp/internal/sim"
+)
+
+// memEngine is an engine-level ReaderAt over a blob with a fixed virtual
+// latency per call, so reads advance the simulated clock.
+type memEngine struct {
+	data    []byte
+	latency float64
+}
+
+func (m *memEngine) ReadAt(p *sim.Proc, off, n int64) ([]byte, error) {
+	p.Sleep(m.latency)
+	return ioengine.Bytes(m.data).ReadAt(off, n)
+}
+
+func (m *memEngine) Size() int64 { return int64(len(m.data)) }
+
+// buildNC writes a NU-WRF-shaped netcdf blob: QR(level=6, lat=4, lon=5)
+// chunked one level per chunk, deterministic values, zone maps on.
+func buildNC(t *testing.T) ([]byte, []float32) {
+	t.Helper()
+	w := netcdf.NewWriter()
+	for _, d := range []struct {
+		name string
+		n    int
+	}{{"level", 6}, {"lat", 4}, {"lon", 5}} {
+		if err := w.AddDim(d.name, d.n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.AddVar("QR", netcdf.Float32, []string{"level", "lat", "lon"}, netcdf.Chunking{Shape: []int{1, 4, 5}, Deflate: 2}); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float32, 6*4*5)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i)/7.0) + float64(i/20))
+	}
+	if err := w.PutVarFloat32("QR", vals); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := w.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, vals
+}
+
+// legacyNCFrame materializes the same rows the adapter exposes, in the
+// adapter's row order (chunk order × row-major — global row-major here,
+// since chunks are whole level slabs).
+func legacyNCFrame(vals []float32) *rframe.Frame {
+	var level, lat, lon []int64
+	var value []float64
+	for i, v := range vals {
+		level = append(level, int64(i/20))
+		lat = append(lat, int64((i/5)%4))
+		lon = append(lon, int64(i%5))
+		value = append(value, float64(v))
+	}
+	return rframe.New().MustAddInt("level", level).MustAddInt("lat", lat).
+		MustAddInt("lon", lon).MustAddFloat("value", value)
+}
+
+// queryNC runs one SQL query over the netcdf adapter inside a kernel,
+// with the blob served through a bound engine (cache + prefetch) and the
+// scan offloaded to a compute pool of the given size (-1 = no pool).
+// It returns the result CSV, the scan stats, and the full obs export.
+func queryNC(t *testing.T, blob []byte, sql string, mode rsql.PushdownMode, workers int) ([]byte, *rsql.ScanStats, []byte) {
+	t.Helper()
+	k := sim.NewKernel()
+	if workers >= 0 {
+		pool := sim.NewComputePool(workers)
+		defer pool.Close()
+		k.SetComputePool(pool)
+	}
+	reg := obs.New()
+	k.SetObs(reg)
+	var csv []byte
+	var stats *rsql.ScanStats
+	k.Go("query", func(p *sim.Proc) {
+		b := ioengine.Bind(p, &memEngine{data: blob, latency: 0.001}, ioengine.Options{Cache: ioengine.NewCache(1 << 20), Prefetch: 2, Obs: reg})
+		f, err := netcdf.Open(b)
+		if err != nil {
+			panic(err)
+		}
+		tab, err := NewNetCDF(f, "QR")
+		if err != nil {
+			panic(err)
+		}
+		out, st, err := rsql.QueryArrays(map[string]rsql.ArrayTable{"qr": tab}, sql, rsql.ArrayQueryOpts{Mode: mode, Obs: reg})
+		if err != nil {
+			panic(err)
+		}
+		csv = out.WriteCSV()
+		stats = st
+	})
+	k.Run()
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	return csv, stats, prom.Bytes()
+}
+
+// TestNetCDFAdapterVsLegacy compares adapter queries against the legacy
+// executor over a materialized frame. Aggregates use a tolerance — their
+// partial sums merge in chunk order, not global row order.
+func TestNetCDFAdapterVsLegacy(t *testing.T) {
+	blob, vals := buildNC(t)
+	legacy := legacyNCFrame(vals)
+	queries := []struct {
+		sql string
+		tol float64
+	}{
+		{`SELECT * FROM qr WHERE level = 3 AND value > 3.2 ORDER BY value DESC LIMIT 5`, 0},
+		{`SELECT lat, lon, value FROM qr WHERE level >= 4 AND lat = 2`, 0},
+		{`SELECT level, COUNT(*), SUM(value), MAX(value), AVG(value) FROM qr WHERE value > 1.0 GROUP BY level ORDER BY level`, 1e-12},
+		{`SELECT lon FROM qr WHERE level = 2 AND lat = 1 ORDER BY lon`, 0},
+		{`SELECT COUNT(*) FROM qr WHERE value > 100`, 0},
+	}
+	for _, q := range queries {
+		gotCSV, _, _ := queryNC(t, blob, q.sql, rsql.Pushdown, -1)
+		want, err := rsql.Query(map[string]*rframe.Frame{"qr": legacy}, q.sql)
+		if err != nil {
+			t.Fatalf("legacy %q: %v", q.sql, err)
+		}
+		if q.tol == 0 {
+			if !bytes.Equal(gotCSV, want.WriteCSV()) {
+				t.Fatalf("%q differs from legacy:\n%svs\n%s", q.sql, gotCSV, want.WriteCSV())
+			}
+			continue
+		}
+		got, err := rframe.ReadTable(gotCSV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumRows() != want.NumRows() {
+			t.Fatalf("%q: %d rows vs legacy %d", q.sql, got.NumRows(), want.NumRows())
+		}
+		for _, name := range want.Names() {
+			gc, wc := got.Col(name), want.Col(name)
+			if gc == nil {
+				t.Fatalf("%q: missing column %s", q.sql, name)
+			}
+			for r := 0; r < want.NumRows(); r++ {
+				a, b := gc.Float64At(r), wc.Float64At(r)
+				if a != b && math.Abs(a-b) > q.tol*math.Max(math.Abs(a), math.Abs(b)) {
+					t.Fatalf("%q: %s[%d] = %v vs legacy %v", q.sql, name, r, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestNetCDFPruningAndProjection checks zone-map pruning really happens
+// through the adapter, and geometry-only queries never inflate payloads.
+func TestNetCDFPruningAndProjection(t *testing.T) {
+	blob, _ := buildNC(t)
+	_, st, _ := queryNC(t, blob, `SELECT value FROM qr WHERE level = 3`, rsql.Pushdown, -1)
+	if st.ChunksScanned != 1 || st.ChunksSkipped != 5 {
+		t.Fatalf("level pruning: %+v", st)
+	}
+	if st.BytesAvoided == 0 || st.StoredAvoided == 0 {
+		t.Fatalf("no bytes avoided: %+v", st)
+	}
+	// Values climb with level (the +i/20 term): a high threshold prunes
+	// low levels via the write-time zone maps alone.
+	_, st2, _ := queryNC(t, blob, `SELECT value FROM qr WHERE value > 4.5`, rsql.Pushdown, -1)
+	if st2.ChunksSkipped < 3 {
+		t.Fatalf("zone maps should prune low levels: %+v", st2)
+	}
+	// Geometry-only projection: payloads never decoded.
+	_, st3, _ := queryNC(t, blob, `SELECT lon FROM qr WHERE level = 2 AND lat = 1`, rsql.Pushdown, -1)
+	if st3.BytesInflated != 0 || st3.StoredRead != 0 {
+		t.Fatalf("geometry-only query inflated payloads: %+v", st3)
+	}
+}
+
+// TestWorkerCountInvariance runs the same query at several data-plane
+// widths: results AND the full obs export (counters, spans, virtual
+// clock) must be byte-identical — the two-plane determinism contract.
+func TestWorkerCountInvariance(t *testing.T) {
+	blob, _ := buildNC(t)
+	const sql = `SELECT level, COUNT(*), SUM(value) FROM qr WHERE value > 1.0 GROUP BY level ORDER BY level`
+	baseCSV, _, baseExp := queryNC(t, blob, sql, rsql.Pushdown, -1)
+	for _, workers := range []int{1, 4, 8} {
+		csv, _, exp := queryNC(t, blob, sql, rsql.Pushdown, workers)
+		if !bytes.Equal(csv, baseCSV) {
+			t.Fatalf("workers=%d: result differs:\n%svs\n%s", workers, csv, baseCSV)
+		}
+		if !bytes.Equal(exp, baseExp) {
+			t.Fatalf("workers=%d: obs export differs", workers)
+		}
+	}
+}
+
+// TestObsExportDeterminism pins the satellite requirement: two same-seed
+// runs of the same mode produce byte-identical metric exports, and the
+// query counters are populated.
+func TestObsExportDeterminism(t *testing.T) {
+	blob, _ := buildNC(t)
+	const sql = `SELECT * FROM qr WHERE level = 4 AND value > 4.0`
+	csv1, _, exp1 := queryNC(t, blob, sql, rsql.Pushdown, 2)
+	csv2, _, exp2 := queryNC(t, blob, sql, rsql.Pushdown, 2)
+	if !bytes.Equal(csv1, csv2) || !bytes.Equal(exp1, exp2) {
+		t.Fatal("same-seed runs diverged")
+	}
+	if !bytes.Contains(exp1, []byte("query_chunks_skipped_total")) ||
+		!bytes.Contains(exp1, []byte("query_chunks_scanned_total")) ||
+		!bytes.Contains(exp1, []byte("query_bytes_avoided_total")) {
+		t.Fatalf("query counters missing from export:\n%s", exp1)
+	}
+	// Pushdown and oracle must agree on results (the acceptance digest).
+	oracleCSV, _, _ := queryNC(t, blob, sql, rsql.PushdownOff, 2)
+	if !bytes.Equal(csv1, oracleCSV) {
+		t.Fatalf("pushdown vs oracle:\n%svs\n%s", csv1, oracleCSV)
+	}
+}
+
+// TestHDF5AdapterAndConsts exercises the hdf5lite adapter with a WithConst
+// coordinate, including const-column pruning (a predicate excluding the
+// constant skips the whole file).
+func TestHDF5AdapterAndConsts(t *testing.T) {
+	w := hdf5lite.NewWriter()
+	g := w.Root().EnsureGroup("model/physics")
+	vals := make([]float32, 8*3)
+	for i := range vals {
+		vals[i] = float32(i) * 0.25
+	}
+	if _, err := g.AddFloat32("QR", []int{8, 3}, 2, 1, vals); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := w.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	var csv []byte
+	var stats, prunedAll *rsql.ScanStats
+	k.Go("q", func(p *sim.Proc) {
+		b := ioengine.Bind(p, &memEngine{data: blob, latency: 0.0005}, ioengine.Options{})
+		f, err := hdf5lite.Open(b)
+		if err != nil {
+			panic(err)
+		}
+		tab, err := NewHDF5(f, "model/physics/QR", []string{"row", "col"}, WithConst("step", 7))
+		if err != nil {
+			panic(err)
+		}
+		out, st, err := rsql.QueryArrays(map[string]rsql.ArrayTable{"h": tab}, `SELECT row, col, value FROM h WHERE row >= 4 AND row < 6 AND step = 7`, rsql.ArrayQueryOpts{})
+		if err != nil {
+			panic(err)
+		}
+		csv, stats = out.WriteCSV(), st
+		_, prunedAll, err = rsql.QueryArrays(map[string]rsql.ArrayTable{"h": tab}, `SELECT value FROM h WHERE step = 8`, rsql.ArrayQueryOpts{})
+		if err != nil {
+			panic(err)
+		}
+	})
+	k.Run()
+	// row in [4,6) widens to the closed interval [4,6], which touches the
+	// rows-[6,7] chunk too — conservative pruning keeps 2 of 4 chunks; the
+	// re-evaluated WHERE still drops row 6's rows from the result.
+	if stats.ChunksScanned != 2 || stats.ChunksSkipped != 2 {
+		t.Fatalf("row-range pruning over hdf5 chunks: %+v", stats)
+	}
+	want := "row,col,value\n4,0,3\n4,1,3.25\n4,2,3.5\n5,0,3.75\n5,1,4\n5,2,4.25\n"
+	if string(csv) != want {
+		t.Fatalf("hdf5 query result:\n%swant\n%s", csv, want)
+	}
+	if prunedAll.ChunksScanned != 0 || prunedAll.ChunksSkipped != 4 {
+		t.Fatalf("const mismatch should skip every chunk: %+v", prunedAll)
+	}
+}

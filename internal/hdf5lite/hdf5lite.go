@@ -77,6 +77,9 @@ type Chunk struct {
 	StoredSize int64
 	// RawSize is the decompressed length.
 	RawSize int64
+	// Stats is the chunk's write-time zone map, or nil for files written
+	// before the statistics trailer existed (or with it disabled).
+	Stats *ChunkStats
 }
 
 // Dataset is one array within a group.
@@ -162,7 +165,8 @@ func (g *Group) Dataset(name string) *Dataset {
 
 // Writer assembles a file: build the group tree, then call Bytes.
 type Writer struct {
-	root *Group
+	root    *Group
+	noStats bool
 }
 
 // NewWriter returns a writer with an empty root group.
@@ -172,6 +176,10 @@ func NewWriter() *Writer {
 
 // Root returns the root group.
 func (w *Writer) Root() *Group { return w.root }
+
+// DisableChunkStats omits the per-chunk statistics trailer, producing the
+// pre-zone-map header layout — what legacy-compatibility tests exercise.
+func (w *Writer) DisableChunkStats() { w.noStats = true }
 
 // EnsureGroup walks/creates the slash-separated path below g and returns
 // the final group.
@@ -267,7 +275,12 @@ func (w *Writer) Bytes() ([]byte, error) {
 					fw.Close()
 					payload = buf.Bytes()
 				}
-				d.Chunks = append(d.Chunks, Chunk{RowStart: r, Rows: n, StoredSize: int64(len(payload)), RawSize: int64(len(raw))})
+				ck := Chunk{RowStart: r, Rows: n, StoredSize: int64(len(payload)), RawSize: int64(len(raw))}
+				if !w.noStats {
+					st := computeChunkStats(d.Type, raw)
+					ck.Stats = &st
+				}
+				d.Chunks = append(d.Chunks, ck)
 				payloads = append(payloads, payload)
 			}
 		}
@@ -328,6 +341,23 @@ func (w *Writer) Bytes() ([]byte, error) {
 			}
 		}
 		walk(w.root)
+		// Zone maps ride in a tagged trailer after the tree, one record per
+		// chunk in the same depth-first dataset order, each a fixed 32
+		// bytes so both encoding passes agree on the header size. Readers
+		// that stop at the root group skip it untouched.
+		if !w.noStats {
+			u32(zoneMapTag)
+			for _, d := range datasetsDF(w.root) {
+				u32(uint32(len(d.Chunks)))
+				for i := range d.Chunks {
+					s := d.Chunks[i].Stats
+					u64(math.Float64bits(s.Min))
+					u64(math.Float64bits(s.Max))
+					u64(uint64(s.Count))
+					u64(uint64(s.Fill))
+				}
+			}
+		}
 		return buf
 	}
 	probe := encodeTree(false, 0)
@@ -398,6 +428,31 @@ func Open(r ReaderAt) (*File, error) {
 	}
 	d := &treeDec{buf: hdr}
 	root := d.group()
+	// Optional tagged trailer: per-chunk zone maps in depth-first dataset
+	// order. Legacy files end at the tree; unrecognized trailing bytes are
+	// ignored, mirroring what pre-zone-map readers do with the trailer.
+	if d.err == nil && d.off+4 <= len(d.buf) && binary.LittleEndian.Uint32(d.buf[d.off:]) == zoneMapTag {
+		d.off += 4
+		for _, ds := range datasetsDF(root) {
+			n := int(d.u32())
+			if d.err != nil {
+				break
+			}
+			if n != len(ds.Chunks) {
+				d.err = fmt.Errorf("hdf5lite: %s: stats trailer has %d chunks, index has %d", ds.Name, n, len(ds.Chunks))
+				break
+			}
+			for j := 0; j < n && d.err == nil; j++ {
+				st := ChunkStats{
+					Min:   math.Float64frombits(d.u64()),
+					Max:   math.Float64frombits(d.u64()),
+					Count: int64(d.u64()),
+					Fill:  int64(d.u64()),
+				}
+				ds.Chunks[j].Stats = &st
+			}
+		}
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -550,10 +605,10 @@ func (f *File) ReadRows(d *Dataset, start, count int) ([]byte, error) {
 // ReadAll reads the full dataset payload.
 func (f *File) ReadAll(d *Dataset) ([]byte, error) { return f.ReadRows(d, 0, d.Shape[0]) }
 
-// readChunk fetches and decompresses chunk c through the engine's chunk
-// path, so caching/prefetching sources can serve or stage it.
-func (f *File) readChunk(d *Dataset, c Chunk) ([]byte, error) {
-	return ioengine.ReadChunk(f.r, c.Offset, c.StoredSize, func(raw []byte) ([]byte, error) {
+// chunkDecoder builds the decompress-and-verify step for chunk c of d,
+// shared by the caching read path and the single-pass scan path.
+func chunkDecoder(d *Dataset, c Chunk) func(raw []byte) ([]byte, error) {
+	return func(raw []byte) ([]byte, error) {
 		if int64(len(raw)) < c.StoredSize {
 			return nil, fmt.Errorf("hdf5lite: truncated chunk at %d", c.Offset)
 		}
@@ -569,7 +624,40 @@ func (f *File) readChunk(d *Dataset, c Chunk) ([]byte, error) {
 			return nil, fmt.Errorf("hdf5lite: chunk raw size %d, want %d", len(raw), c.RawSize)
 		}
 		return raw, nil
-	})
+	}
+}
+
+// readChunk fetches and decompresses chunk c through the engine's chunk
+// path, so caching/prefetching sources can serve or stage it.
+func (f *File) readChunk(d *Dataset, c Chunk) ([]byte, error) {
+	return ioengine.ReadChunk(f.r, c.Offset, c.StoredSize, chunkDecoder(d, c))
+}
+
+// Source returns the random-access source the file was opened over — the
+// handle query adapters use to fork fused-scan work onto the data plane.
+func (f *File) Source() ReaderAt { return f.r }
+
+// ScanChunk reads and decompresses the i-th chunk of d through the
+// engine's single-pass scan path (cache may serve, never fills on miss).
+func (f *File) ScanChunk(d *Dataset, i int) ([]byte, error) {
+	if i < 0 || i >= len(d.Chunks) {
+		return nil, fmt.Errorf("hdf5lite: %s: chunk %d out of range [0,%d)", d.Name, i, len(d.Chunks))
+	}
+	c := d.Chunks[i]
+	return ioengine.ReadChunkOnce(f.r, c.Offset, c.StoredSize, chunkDecoder(d, c))
+}
+
+// AnnounceChunks declares the surviving chunks of a pruned scan so a
+// prefetching source stages exactly those.
+func (f *File) AnnounceChunks(d *Dataset, chunks []int) {
+	plan := make([]ioengine.Range, 0, len(chunks))
+	for _, i := range chunks {
+		if i < 0 || i >= len(d.Chunks) {
+			continue
+		}
+		plan = append(plan, ioengine.Range{Off: d.Chunks[i].Offset, Len: d.Chunks[i].StoredSize})
+	}
+	ioengine.Announce(f.r, plan)
 }
 
 // Float32s decodes raw little-endian bytes as float32 values.

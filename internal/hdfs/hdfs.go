@@ -24,7 +24,7 @@ package hdfs
 import (
 	"fmt"
 	"hash/crc32"
-	"sort"
+	"slices"
 	"strings"
 
 	"scidp/internal/cluster"
@@ -571,7 +571,7 @@ func (fs *FS) List(p *sim.Proc, dir string) ([]*INode, error) {
 		}
 		out = append(out, in)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	slices.SortFunc(out, func(a, b *INode) int { return strings.Compare(a.Path, b.Path) })
 	return out, nil
 }
 
@@ -593,7 +593,7 @@ func (fs *FS) Walk(p *sim.Proc, dir string) ([]*INode, error) {
 			out = append(out, in)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	slices.SortFunc(out, func(a, b *INode) int { return strings.Compare(a.Path, b.Path) })
 	return out, nil
 }
 

@@ -133,6 +133,30 @@ func ReadChunk(r Source, off, stored int64, decode func(raw []byte) ([]byte, err
 	return decode(raw)
 }
 
+// ScanReader is the optional Source extension the query planner's fused
+// single-pass scans probe for: serve a chunk from the decompressed cache
+// when it is already resident, but do not populate the cache on a miss —
+// a one-shot scan over a pruned chunk list must not evict the hot
+// working set that iterative slab readers depend on.
+type ScanReader interface {
+	ReadChunkOnce(off, stored int64, decode func(raw []byte) ([]byte, error)) ([]byte, error)
+}
+
+// ReadChunkOnce reads and decodes the stored bytes [off, off+stored) of r
+// for a single-pass scan. When r is a ScanReader the cache may serve the
+// chunk but is never filled by it; otherwise it is a plain
+// read-then-decode.
+func ReadChunkOnce(r Source, off, stored int64, decode func(raw []byte) ([]byte, error)) ([]byte, error) {
+	if sr, ok := r.(ScanReader); ok {
+		return sr.ReadChunkOnce(off, stored, decode)
+	}
+	raw, err := r.ReadAt(off, stored)
+	if err != nil {
+		return nil, err
+	}
+	return decode(raw)
+}
+
 // Offloader is the optional Source extension a format plugin probes for
 // to fork pure assembly work (hyperslab scatter copies, row-chunk
 // assembly) onto the simulation's data plane. Bound implements it via
@@ -295,6 +319,36 @@ func (b *Bound) ReadChunk(off, stored int64, decode func(raw []byte) ([]byte, er
 	}
 	if b.cache != nil {
 		b.cache.Put(dkey, out)
+	}
+	b.startPrefetch()
+	return out, nil
+}
+
+// ReadChunkOnce implements ScanReader: a resident decompressed chunk is
+// served (peek — no LRU promotion), a miss reads and decodes without
+// filling the cache, so a pruned one-shot scan leaves the cache's working
+// set untouched. Raw prefetch-staged bytes are still consumed, and the
+// readahead window still advances, so announced scan plans overlap their
+// transfers exactly like the caching path.
+func (b *Bound) ReadChunkOnce(off, stored int64, decode func(raw []byte) ([]byte, error)) ([]byte, error) {
+	b.advance(off)
+	if b.cache != nil {
+		if v, ok := b.cache.peek(b.key('d', off, stored)); ok {
+			b.chunkHits.Inc()
+			b.startPrefetch()
+			return v, nil
+		}
+	}
+	b.chunkMisses.Inc()
+	raw, err := b.fetchRaw(off, stored)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	var derr error
+	b.p.Await(b.p.Compute(func() { out, derr = decode(raw) }))
+	if derr != nil {
+		return nil, derr
 	}
 	b.startPrefetch()
 	return out, nil

@@ -1,6 +1,9 @@
 package ioengine
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Range is a half-open byte range [Off, Off+Len). It is the shared
 // currency of the read path: MPI-IO file views, HDFS block stitching,
@@ -34,7 +37,7 @@ func Merge(rs []Range) []Range {
 			out = append(out, r)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
+	slices.SortFunc(out, func(a, b Range) int { return cmp.Compare(a.Off, b.Off) })
 	w := 0
 	for _, r := range out {
 		if w > 0 && r.Off <= out[w-1].End() {

@@ -119,6 +119,9 @@ type ChunkInfo struct {
 	StoredSize int64
 	// RawSize is the decompressed payload length.
 	RawSize int64
+	// Stats is the chunk's write-time zone map, or nil for files written
+	// before the statistics section existed (or with it disabled).
+	Stats *ChunkStats
 }
 
 // Var is one variable's metadata.
@@ -217,6 +220,13 @@ func (v *Var) chunkExtent(idx []int) (start, extent []int) {
 		extent[i] = e
 	}
 	return start, extent
+}
+
+// ChunkBox returns the start coordinate and clamped extent of the i-th
+// chunk in v.Chunks — the geometry a planner needs to turn chunk position
+// into coordinate bounds without reading anything.
+func (v *Var) ChunkBox(i int) (start, extent []int) {
+	return v.chunkExtent(v.Chunks[i].Index)
 }
 
 // Array is an in-memory n-dimensional array: raw little-endian bytes plus

@@ -110,6 +110,26 @@ func (f *File) decodeHeader(hdr []byte) error {
 		f.vars = append(f.vars, v)
 		f.byName[v.Name] = v
 	}
+	// Optional tagged trailer: per-chunk zone maps. Legacy files end at the
+	// variable table; anything after it that doesn't carry the tag is
+	// ignored, which is also what pre-zone-map readers do with the trailer.
+	if d.err == nil && d.off+4 <= len(d.buf) && leUint32(d.buf[d.off:]) == zoneMapTag {
+		d.off += 4
+		for _, v := range f.vars {
+			n := int(d.u32())
+			if d.err != nil {
+				break
+			}
+			if n != len(v.Chunks) {
+				d.err = fmt.Errorf("netcdf: %s: stats section has %d chunks, index has %d", v.Name, n, len(v.Chunks))
+				break
+			}
+			for j := 0; j < n && d.err == nil; j++ {
+				st := ChunkStats{Min: d.f64(), Max: d.f64(), Count: int64(d.u64()), Fill: int64(d.u64())}
+				v.Chunks[j].Stats = &st
+			}
+		}
+	}
 	if d.err != nil {
 		return d.err
 	}
@@ -134,11 +154,10 @@ func (f *File) Var(name string) (*Var, error) {
 	return v, nil
 }
 
-// readChunk fetches and decompresses chunk ci of v through the engine's
-// chunk path, so a caching source serves (and stores) the decompressed
-// payload and a prefetching source stages upcoming chunks.
-func (f *File) readChunk(v *Var, ci ChunkInfo) ([]byte, error) {
-	return ioengine.ReadChunk(f.r, ci.Offset, ci.StoredSize, func(raw []byte) ([]byte, error) {
+// chunkDecoder builds the decompress-and-verify step for chunk ci of v,
+// shared by the caching read path and the single-pass scan path.
+func chunkDecoder(v *Var, ci ChunkInfo) func(raw []byte) ([]byte, error) {
+	return func(raw []byte) ([]byte, error) {
 		if int64(len(raw)) < ci.StoredSize {
 			return nil, fmt.Errorf("netcdf: %s: truncated chunk at %d", v.Name, ci.Offset)
 		}
@@ -154,7 +173,45 @@ func (f *File) readChunk(v *Var, ci ChunkInfo) ([]byte, error) {
 			return nil, fmt.Errorf("netcdf: %s: chunk raw size %d, want %d", v.Name, len(raw), ci.RawSize)
 		}
 		return raw, nil
-	})
+	}
+}
+
+// readChunk fetches and decompresses chunk ci of v through the engine's
+// chunk path, so a caching source serves (and stores) the decompressed
+// payload and a prefetching source stages upcoming chunks.
+func (f *File) readChunk(v *Var, ci ChunkInfo) ([]byte, error) {
+	return ioengine.ReadChunk(f.r, ci.Offset, ci.StoredSize, chunkDecoder(v, ci))
+}
+
+// Source returns the random-access source the file was opened over — the
+// handle query adapters use to fork fused-scan work onto the data plane.
+func (f *File) Source() ReaderAt { return f.r }
+
+// ScanChunk reads and decompresses the i-th chunk of v through the
+// engine's single-pass scan path: a caching source serves it if resident
+// but does not populate the cache on a miss, so a one-shot query scan
+// never evicts hot working-set chunks.
+func (f *File) ScanChunk(v *Var, i int) ([]byte, error) {
+	if i < 0 || i >= len(v.Chunks) {
+		return nil, fmt.Errorf("netcdf: %s: chunk %d out of range [0,%d)", v.Name, i, len(v.Chunks))
+	}
+	ci := v.Chunks[i]
+	return ioengine.ReadChunkOnce(f.r, ci.Offset, ci.StoredSize, chunkDecoder(v, ci))
+}
+
+// AnnounceChunks declares the surviving chunks of a pruned scan to the
+// engine so a prefetching source stages exactly those — skipped chunks
+// are never fetched, never inflated, never cached.
+func (f *File) AnnounceChunks(v *Var, chunks []int) {
+	plan := make([]ioengine.Range, 0, len(chunks))
+	for _, i := range chunks {
+		if i < 0 || i >= len(v.Chunks) {
+			continue
+		}
+		ci := v.Chunks[i]
+		plan = append(plan, ioengine.Range{Off: ci.Offset, Len: ci.StoredSize})
+	}
+	ioengine.Announce(f.r, plan)
 }
 
 // GetVara reads the hyperslab [start, start+count) of the named variable —

@@ -1,0 +1,58 @@
+package netcdf
+
+import "math"
+
+// zoneMapTag marks the optional per-chunk statistics section appended to
+// the header after the variable table. Decoders that predate it (or that
+// simply don't care) never look past the variable table, so tagged files
+// open everywhere; untagged (legacy) files open here with Stats left nil.
+const zoneMapTag uint32 = 0x50414D5A // "ZMAP" little-endian
+
+// ChunkStats is the write-time zone map of one stored chunk: the summary
+// a query planner consults to prove a chunk irrelevant without reading
+// it. Min/Max cover the non-fill elements; Count is the total element
+// count; Fill counts fill elements (NaN for floating-point variables —
+// integer variables have no fill representation, so Fill is 0).
+type ChunkStats struct {
+	// Min is the smallest non-fill value (+Inf when the chunk is all fill,
+	// an empty interval that every range predicate excludes).
+	Min float64
+	// Max is the largest non-fill value (-Inf when the chunk is all fill).
+	Max float64
+	// Count is the total number of elements in the chunk.
+	Count int64
+	// Fill is the number of fill (NaN) elements.
+	Fill int64
+}
+
+// AllFill reports whether the chunk holds no real values.
+func (s ChunkStats) AllFill() bool { return s.Count == s.Fill }
+
+// computeChunkStats summarizes one raw (decompressed) chunk payload.
+func computeChunkStats(t Type, raw []byte) ChunkStats {
+	es := t.Size()
+	n := len(raw) / es
+	st := ChunkStats{Min: math.Inf(1), Max: math.Inf(-1), Count: int64(n)}
+	for i := 0; i < n; i++ {
+		var v float64
+		switch t {
+		case Byte:
+			v = float64(raw[i])
+		case Int32:
+			v = float64(int32(leUint32(raw[i*4:])))
+		case Int64:
+			v = float64(int64(leUint64(raw[i*8:])))
+		case Float32:
+			v = float64(leFloat32(raw[i*4:]))
+		case Float64:
+			v = leFloat64(raw[i*8:])
+		}
+		if v != v { // NaN is the fill value
+			st.Fill++
+			continue
+		}
+		st.Min = min(st.Min, v)
+		st.Max = max(st.Max, v)
+	}
+	return st
+}

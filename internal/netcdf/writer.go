@@ -10,11 +10,12 @@ import (
 // supply each variable's data, then call Bytes to encode — the pattern of
 // netCDF's define mode followed by data mode.
 type Writer struct {
-	dims   []Dim
-	dimIdx map[string]int
-	gattrs []Attr
-	vars   []*writerVar
-	varIdx map[string]int
+	dims    []Dim
+	dimIdx  map[string]int
+	gattrs  []Attr
+	vars    []*writerVar
+	varIdx  map[string]int
+	noStats bool
 }
 
 type writerVar struct {
@@ -46,6 +47,10 @@ func (w *Writer) AddDim(name string, length int) error {
 
 // GlobalAttr attaches a file-level attribute.
 func (w *Writer) GlobalAttr(a Attr) { w.gattrs = append(w.gattrs, a) }
+
+// DisableChunkStats omits the per-chunk statistics section, producing the
+// pre-zone-map header layout — what legacy-compatibility tests exercise.
+func (w *Writer) DisableChunkStats() { w.noStats = true }
 
 // Chunking configures a variable's storage.
 type Chunking struct {
@@ -193,10 +198,12 @@ func (w *Writer) PutVaraFloat32(name string, start, count []int, vals []float32)
 // Bytes encodes the file: header (with per-chunk index) followed by chunk
 // payloads. Every declared variable must have received data.
 func (w *Writer) Bytes() ([]byte, error) {
-	// First pass: chunk and compress every variable's payload.
+	// First pass: chunk and compress every variable's payload, summarizing
+	// each raw chunk into its zone map while the bytes are in hand.
 	type stored struct {
 		payloads [][]byte
 		raws     []int64
+		stats    []ChunkStats
 	}
 	perVar := make([]stored, len(w.vars))
 	for vi, wv := range w.vars {
@@ -210,6 +217,9 @@ func (w *Writer) Bytes() ([]byte, error) {
 		st := stored{}
 		for _, raw := range chunks {
 			st.raws = append(st.raws, int64(len(raw)))
+			if !w.noStats {
+				st.stats = append(st.stats, computeChunkStats(wv.v.Type, raw))
+			}
 			if wv.v.Deflate > 0 {
 				comp, err := deflateBytes(raw, wv.v.Deflate)
 				if err != nil {
@@ -265,6 +275,23 @@ func (w *Writer) Bytes() ([]byte, error) {
 				e.u64(uint64(len(payload)))
 				e.u64(uint64(st.raws[ci]))
 				cur += int64(len(payload))
+			}
+		}
+		// Zone maps ride in a tagged trailer after the variable table: a
+		// fixed 32 bytes per chunk, so the probe/offset passes agree on the
+		// header size, and old readers (which stop at the variable table)
+		// skip it untouched.
+		if !w.noStats {
+			e.u32(zoneMapTag)
+			for vi := range w.vars {
+				sts := perVar[vi].stats
+				e.u32(uint32(len(sts)))
+				for _, s := range sts {
+					e.f64(s.Min)
+					e.f64(s.Max)
+					e.u64(uint64(s.Count))
+					e.u64(uint64(s.Fill))
+				}
 			}
 		}
 		return e.buf

@@ -1,0 +1,252 @@
+package netcdf
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestChunkStatsProperty writes random arrays under random geometries and
+// checks every recorded zone map against a brute-force pass over the
+// chunk's elements.
+func TestChunkStatsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		rank := 1 + rng.Intn(3)
+		shape := make([]int, rank)
+		cs := make([]int, rank)
+		for i := range shape {
+			shape[i] = 1 + rng.Intn(7)
+			cs[i] = 1 + rng.Intn(shape[i]) // may not divide evenly: partial edge chunks
+		}
+		typ := []Type{Byte, Int32, Int64, Float32, Float64}[rng.Intn(5)]
+		n := 1
+		for _, s := range shape {
+			n *= s
+		}
+		es := typ.Size()
+		raw := make([]byte, n*es)
+		vals := make([]float64, n)
+		for i := range vals {
+			var v float64
+			switch typ {
+			case Byte:
+				v = float64(rng.Intn(256))
+				raw[i] = byte(v)
+			case Int32:
+				v = float64(int32(rng.Int63()))
+				putInt32Raw(raw[i*4:], int32(v))
+			case Int64:
+				iv := rng.Int63() - rng.Int63()
+				v = float64(iv)
+				putInt64Raw(raw[i*8:], iv)
+			case Float32:
+				f := float32(rng.NormFloat64() * 10)
+				if rng.Intn(5) == 0 {
+					f = float32(math.NaN())
+				}
+				v = float64(f)
+				putFloat32Raw(raw[i*4:], f)
+			case Float64:
+				v = rng.NormFloat64() * 10
+				if rng.Intn(5) == 0 {
+					v = math.NaN()
+				}
+				putFloat64Raw(raw[i*8:], v)
+			}
+			vals[i] = v
+		}
+
+		w := NewWriter()
+		dims := make([]string, rank)
+		for i := range dims {
+			dims[i] = []string{"x", "y", "z"}[i]
+			if err := w.AddDim(dims[i], shape[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		deflate := rng.Intn(2)
+		if err := w.AddVar("v", typ, dims, Chunking{Shape: cs, Deflate: deflate}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.PutVarBytes("v", raw); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := w.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Open(BytesReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := f.Var("v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		str := strides(shape)
+		for ci := range v.Chunks {
+			st := v.Chunks[ci].Stats
+			if st == nil {
+				t.Fatalf("trial %d: chunk %d has no stats", trial, ci)
+			}
+			start, extent := v.ChunkBox(ci)
+			want := ChunkStats{Min: math.Inf(1), Max: math.Inf(-1)}
+			idx := make([]int, rank)
+			for {
+				flat := 0
+				for d := range idx {
+					flat += (start[d] + idx[d]) * str[d]
+				}
+				want.Count++
+				x := vals[flat]
+				if math.IsNaN(x) {
+					want.Fill++
+				} else {
+					want.Min = math.Min(want.Min, x)
+					want.Max = math.Max(want.Max, x)
+				}
+				if !incIndex(idx, extent) {
+					break
+				}
+			}
+			if *st != want {
+				t.Fatalf("trial %d chunk %d (type %s, shape %v, chunk %v): stats %+v, brute force %+v",
+					trial, ci, typ, shape, cs, *st, want)
+			}
+		}
+	}
+}
+
+func putInt32Raw(b []byte, v int32)     { binary.LittleEndian.PutUint32(b, uint32(v)) }
+func putInt64Raw(b []byte, v int64)     { binary.LittleEndian.PutUint64(b, uint64(v)) }
+func putFloat32Raw(b []byte, v float32) { binary.LittleEndian.PutUint32(b, math.Float32bits(v)) }
+func putFloat64Raw(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
+
+// TestGetVaraPartialChunksWithStats reads hyperslabs crossing partial
+// edge chunks of a stats-bearing file and checks the data against the
+// original values.
+func TestGetVaraPartialChunksWithStats(t *testing.T) {
+	const ny, nx = 5, 7
+	w := NewWriter()
+	if err := w.AddDim("y", ny); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddDim("x", nx); err != nil {
+		t.Fatal(err)
+	}
+	// 2x3 chunks over a 5x7 array: partial chunks on both edges.
+	if err := w.AddVar("v", Float64, []string{"y", "x"}, Chunking{Shape: []int{2, 3}, Deflate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, ny*nx)
+	for i := range vals {
+		vals[i] = float64(i) * 1.5
+	}
+	if err := w.PutVarFloat64("v", vals); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := w.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(BytesReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := f.Var("v")
+	for _, c := range v.Chunks {
+		if c.Stats == nil {
+			t.Fatal("chunk missing stats")
+		}
+		if c.Stats.Fill != 0 || c.Stats.Count == 0 {
+			t.Fatalf("unexpected stats %+v", *c.Stats)
+		}
+	}
+	// Slabs chosen to cross chunk boundaries including the partial edges.
+	slabs := [][2][]int{
+		{{1, 2}, {3, 4}}, // interior crossing 4 chunks
+		{{3, 5}, {2, 2}}, // touches both partial edge chunks
+		{{0, 0}, {ny, nx}},
+		{{4, 6}, {1, 1}}, // the corner partial chunk alone
+	}
+	for _, s := range slabs {
+		start, count := s[0], s[1]
+		arr, err := f.GetVara("v", start, count)
+		if err != nil {
+			t.Fatalf("GetVara(%v,%v): %v", start, count, err)
+		}
+		for yy := 0; yy < count[0]; yy++ {
+			for xx := 0; xx < count[1]; xx++ {
+				got := arr.Float64At(yy*count[1] + xx)
+				want := vals[(start[0]+yy)*nx+(start[1]+xx)]
+				if got != want {
+					t.Fatalf("slab %v+%v at (%d,%d): got %v want %v", start, count, yy, xx, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLegacyFileWithoutStats checks both compatibility directions: a
+// writer with stats disabled produces the old header layout (readable,
+// Stats nil), and appending unknown trailing bytes after the variable
+// table — what an even newer section would look like — is ignored.
+func TestLegacyFileWithoutStats(t *testing.T) {
+	build := func(noStats bool) []byte {
+		w := NewWriter()
+		if noStats {
+			w.DisableChunkStats()
+		}
+		if err := w.AddDim("x", 6); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AddVar("v", Float32, []string{"x"}, Chunking{Shape: []int{4}, Deflate: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.PutVarFloat32("v", []float32{1, 2, 3, 4, 5, 6}); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := w.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	legacy := build(true)
+	tagged := build(false)
+	if len(legacy) >= len(tagged) {
+		t.Fatal("stats section should add header bytes")
+	}
+
+	f, err := Open(BytesReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy file failed to open: %v", err)
+	}
+	v, _ := f.Var("v")
+	for _, c := range v.Chunks {
+		if c.Stats != nil {
+			t.Fatal("legacy file should have nil Stats")
+		}
+	}
+	arr, err := f.GetVar("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Float64At(5) != 6 {
+		t.Fatal("legacy data mismatch")
+	}
+
+	f2, err := Open(BytesReader(tagged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := f2.Var("v")
+	if v2.Chunks[0].Stats == nil {
+		t.Fatal("tagged file should carry stats")
+	}
+	if got := *v2.Chunks[0].Stats; got.Min != 1 || got.Max != 4 || got.Count != 4 || got.Fill != 0 {
+		t.Fatalf("bad stats %+v", got)
+	}
+}

@@ -2,9 +2,10 @@ package obs
 
 import (
 	"bufio"
+	"cmp"
 	"encoding/json"
 	"io"
-	"sort"
+	"slices"
 )
 
 // Chrome trace-event exporter. The output is the Trace Event Format's
@@ -90,7 +91,7 @@ func (r *Registry) WriteChromeTrace(w io.Writer) error {
 		for p := range procSet {
 			procs = append(procs, p)
 		}
-		sort.Strings(procs)
+		slices.Sort(procs)
 		pid := map[string]int{}
 		tid := map[string]map[string]int{}
 		for i, p := range procs {
@@ -99,7 +100,7 @@ func (r *Registry) WriteChromeTrace(w io.Writer) error {
 			for t := range procSet[p] {
 				tracks = append(tracks, t)
 			}
-			sort.Strings(tracks)
+			slices.Sort(tracks)
 			tid[p] = map[string]int{}
 			for j, t := range tracks {
 				tid[p][t] = j + 1
@@ -112,11 +113,11 @@ func (r *Registry) WriteChromeTrace(w io.Writer) error {
 
 		spans := make([]*Span, len(r.spans))
 		copy(spans, r.spans)
-		sort.Slice(spans, func(i, j int) bool {
-			if spans[i].start != spans[j].start {
-				return spans[i].start < spans[j].start
+		slices.SortFunc(spans, func(a, b *Span) int {
+			if c := cmp.Compare(a.start, b.start); c != 0 {
+				return c
 			}
-			return spans[i].id < spans[j].id
+			return cmp.Compare(a.id, b.id)
 		})
 		for _, s := range spans {
 			p := s.process

@@ -25,6 +25,7 @@ package obs
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -167,7 +168,7 @@ func seriesKey(name string, labels []Label) (string, []Label) {
 	}
 	ls := make([]Label, len(labels))
 	copy(ls, labels)
-	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	slices.SortFunc(ls, func(a, b Label) int { return strings.Compare(a.Key, b.Key) })
 	var sb strings.Builder
 	sb.WriteString(name)
 	sb.WriteByte('{')

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -43,12 +43,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for n := range families {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 
 	bw := bufio.NewWriter(w)
 	for _, fam := range names {
 		lines := families[fam]
-		sort.Slice(lines, func(i, j int) bool { return lines[i].labels < lines[j].labels })
+		slices.SortFunc(lines, func(a, b line) int { return strings.Compare(a.labels, b.labels) })
 		fmt.Fprintf(bw, "# TYPE %s %s\n", fam, kinds[fam])
 		for _, ln := range lines {
 			switch ln.s.kind {

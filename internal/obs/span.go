@@ -1,6 +1,9 @@
 package obs
 
-import "sort"
+import (
+	"slices"
+	"strings"
+)
 
 // Span is one timed region on the virtual clock: a job, phase, task,
 // reader call, or kernel flow. Spans form an explicit tree via parent
@@ -151,6 +154,6 @@ func (r *Registry) SpanRollup() []SpanStat {
 	for _, st := range byName {
 		out = append(out, *st)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b SpanStat) int { return strings.Compare(a.Name, b.Name) })
 	return out
 }

@@ -1,9 +1,10 @@
 package solutions
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"scidp/internal/cluster"
 	"scidp/internal/mapreduce"
@@ -285,7 +286,7 @@ func runProcessing(p *sim.Proc, env *Env, wl *Workload, name string, input mapre
 			for _, v := range values {
 				imgs = append(imgs, v.(imgKV))
 			}
-			sort.Slice(imgs, func(a, b int) bool { return imgs[a].level < imgs[b].level })
+			slices.SortFunc(imgs, func(a, b imgKV) int { return cmp.Compare(a.level, b.level) })
 			for _, img := range imgs {
 				path := fmt.Sprintf("%s/img/t%04d_l%03d.png", outDir, img.t, img.level)
 				if err := env.HDFS.WriteFile(tc.Proc(), tc.Node(), path, img.png); err != nil {
