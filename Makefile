@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-paper obs-smoke chaos-smoke scale-smoke query-smoke
+.PHONY: check fmt vet build test race bench bench-paper obs-smoke chaos-smoke scale-smoke query-smoke analyze-smoke
 
 # check is the CI gate: formatting, vet, build, full tests, the race
 # detector across the whole module (the data-plane compute pool makes
 # real goroutine concurrency reachable from every package), and the
-# observability, chaos, scale, and query smoke tests.
-check: fmt vet build test race obs-smoke chaos-smoke scale-smoke query-smoke
+# observability, chaos, scale, query, and analysis smoke tests.
+check: fmt vet build test race obs-smoke chaos-smoke scale-smoke query-smoke analyze-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -59,6 +59,14 @@ scale-smoke:
 query-smoke:
 	@$(GO) run ./cmd/scidp-bench -exp query -quick -query-floor 5 > /dev/null && \
 		echo "query-smoke: pushdown floor held, digests matched"
+
+# analyze-smoke runs the canonical fig5 pipeline through the post-run
+# analysis engine and asserts the determinism contract (byte-identical
+# analysis JSON across same-seed runs, with and without a chaos plan,
+# at ComputePool workers 0/1/4) plus the budget floors (critical-path
+# I/O share in bounds, recovery time booked only under faults).
+analyze-smoke:
+	@$(GO) run ./cmd/checkanalyze
 
 # chaos-smoke runs the quick fault-injection sweep and asserts every run
 # completed with output byte-identical to the fault-free baseline, the

@@ -1,0 +1,145 @@
+// Command checkanalyze is the analysis plane's CI regression guard —
+// the smoke gate behind `make analyze-smoke`.
+//
+// Usage:
+//
+//	checkanalyze [-timestamps n] [-rate r] [-io-share-min x] [-io-share-max x]
+//
+// It runs the canonical fig5 pipeline and asserts the determinism
+// contract of `scidpctl analyze` / `scidp-bench -explain`:
+//
+//   - two plain same-seed runs produce byte-identical analysis JSON;
+//   - so do two same-seed runs under a chaos plan;
+//   - so do runs at ComputePool workers=1 vs workers=4 (the data plane
+//     must not leak into virtual time);
+//   - the report is structurally complete: at least one job with
+//     phases, a critical path that tiles the job exactly, nonempty
+//     time attribution, and a ranked resource table;
+//   - budget floors hold: the critical path's input-I/O share stays
+//     inside [-io-share-min, -io-share-max], and the chaos run books
+//     nonzero recovery time that the plain run does not.
+//
+// Exit status 0 on success.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"scidp/internal/bench"
+	"scidp/internal/chaos"
+	"scidp/internal/obs/analyze"
+)
+
+func main() {
+	// 16 timestamps makes the map phase big enough (two waves on the
+	// 4×2-slot faults testbed) that the plan's task-failure and
+	// straggler draws reliably hit, so the recovery-attribution floor
+	// below is meaningful.
+	timestamps := flag.Int("timestamps", 16, "dataset timestamps for the canonical run")
+	rate := flag.Float64("rate", 0.1, "fault rate for the chaos-plan leg")
+	ioShareMin := flag.Float64("io-share-min", 0.001, "floor on the plain run's critical-path I/O share")
+	ioShareMax := flag.Float64("io-share-max", 0.9, "ceiling on the plain run's critical-path I/O share")
+	flag.Parse()
+
+	s := bench.QuickScale()
+	run := func(plan *chaos.Plan, workers int, label string) (*analyze.Report, []byte, float64) {
+		rep, solRep, _, err := bench.AnalyzeRun(s, *timestamps, plan, workers, label)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", label, err))
+		}
+		j, err := rep.JSON()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", label, err))
+		}
+		return rep, j, solRep.TotalSeconds
+	}
+
+	// Leg 1: plain determinism + worker invariance. Every leg uses the
+	// same process label — the analysis must depend only on (seed, plan,
+	// timestamps), never on the worker count.
+	plainRep, plainJSON, baseJCT := run(nil, 0, "checkanalyze")
+	_, againJSON, _ := run(nil, 0, "checkanalyze")
+	if !bytes.Equal(plainJSON, againJSON) {
+		fail(fmt.Errorf("plain same-seed runs produced different analysis JSON"))
+	}
+	_, w1JSON, _ := run(nil, 1, "checkanalyze")
+	_, w4JSON, _ := run(nil, 4, "checkanalyze")
+	if !bytes.Equal(plainJSON, w1JSON) || !bytes.Equal(plainJSON, w4JSON) {
+		fail(fmt.Errorf("analysis JSON differs across ComputePool worker counts (inline vs 1 vs 4)"))
+	}
+
+	// Leg 2: chaos determinism (same plan, workers 0 vs 4).
+	plan := bench.FaultsPlan(bench.FaultsSeed, baseJCT, *rate)
+	chaosRep, chaosJSON, _ := run(plan, 0, "checkanalyze")
+	_, chaosAgainJSON, _ := run(plan, 4, "checkanalyze")
+	if !bytes.Equal(chaosJSON, chaosAgainJSON) {
+		fail(fmt.Errorf("chaos same-seed runs produced different analysis JSON"))
+	}
+	if bytes.Equal(plainJSON, chaosJSON) {
+		fail(fmt.Errorf("chaos plan did not change the analysis — injection inert?"))
+	}
+
+	// Leg 3: structural completeness + budget floors on the plain run.
+	if plainRep.SpansDropped != 0 {
+		fail(fmt.Errorf("span buffer overflowed (%d dropped): analysis is partial", plainRep.SpansDropped))
+	}
+	if len(plainRep.Jobs) == 0 {
+		fail(fmt.Errorf("no jobs in the analysis"))
+	}
+	if len(plainRep.Resources) == 0 {
+		fail(fmt.Errorf("no resources ranked"))
+	}
+	var pathSeconds, pathIO float64
+	for _, j := range plainRep.Jobs {
+		if len(j.Phases) == 0 {
+			fail(fmt.Errorf("job %s: no phases", j.Name))
+		}
+		if j.Buckets.Total() <= 0 {
+			fail(fmt.Errorf("job %s: no time attributed", j.Name))
+		}
+		last := j.Start
+		for _, seg := range j.CriticalPath.Segments {
+			if seg.Start != last {
+				fail(fmt.Errorf("job %s: critical path gap at t=%v", j.Name, last))
+			}
+			last = seg.End
+		}
+		if last != j.End {
+			fail(fmt.Errorf("job %s: critical path covers [%v, %v], job ends at %v", j.Name, j.Start, last, j.End))
+		}
+		pathSeconds += j.CriticalPath.Buckets.Total()
+		pathIO += j.CriticalPath.Buckets.IO
+	}
+	ioShare := 0.0
+	if pathSeconds > 0 {
+		ioShare = pathIO / pathSeconds
+	}
+	if ioShare < *ioShareMin || ioShare > *ioShareMax {
+		fail(fmt.Errorf("critical-path I/O share %.4f outside budget [%.4f, %.4f]", ioShare, *ioShareMin, *ioShareMax))
+	}
+
+	plainRecovery, chaosRecovery := 0.0, 0.0
+	for _, j := range plainRep.Jobs {
+		plainRecovery += j.Buckets.Recovery
+	}
+	for _, j := range chaosRep.Jobs {
+		chaosRecovery += j.Buckets.Recovery
+	}
+	if plainRecovery != 0 {
+		fail(fmt.Errorf("fault-free run books %.3fs of recovery time", plainRecovery))
+	}
+	if chaosRecovery <= 0 {
+		fail(fmt.Errorf("chaos run books no recovery time — attribution missed the faults"))
+	}
+
+	fmt.Printf("ok: analysis deterministic (plain, chaos, workers 0/1/4), %d job(s), critical-path io share %.4f in [%g, %g], chaos recovery %.3fs\n",
+		len(plainRep.Jobs), ioShare, *ioShareMin, *ioShareMax, chaosRecovery)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "checkanalyze: %v\n", err)
+	os.Exit(1)
+}

@@ -6,7 +6,7 @@
 //	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|faults|parallel|ablations|ioengine|scale|query]
 //	            [-quick] [-trace out.json] [-metrics out.prom] [-json out.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-scale-floor N]
-//	            [-query-floor X]
+//	            [-query-floor X] [-explain]
 //
 // -quick runs a reduced geometry and smaller sweeps (seconds instead of
 // minutes). Output is one aligned text table per experiment, with paper
@@ -18,6 +18,13 @@
 // machine-readable result (the BENCH_faults.json / BENCH_parallel.json /
 // BENCH_scale.json artifacts: goodput/JCT sweeps, digests, recovery
 // counters, worker sweep wall-clocks, events/sec sweeps).
+//
+// -explain attaches the registry like -trace/-metrics and, after the
+// experiments finish, runs the post-run performance analysis
+// (internal/obs/analyze) over everything recorded: per-job critical
+// paths, time-attribution buckets, bottleneck resources, stragglers.
+// The text report appends to stdout and the JSON summary embeds into
+// any -json artifact ({"experiment": ..., "analysis": ...}).
 //
 // -cpuprofile and -memprofile write runtime/pprof profiles of the bench
 // process itself (inspect with `go tool pprof`) — the intended workflow
@@ -41,6 +48,7 @@ import (
 	"scidp/internal/bench"
 	"scidp/internal/ioengine"
 	"scidp/internal/obs"
+	"scidp/internal/obs/analyze"
 )
 
 func main() {
@@ -54,6 +62,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	scaleFloor := flag.Float64("scale-floor", 0, "with -exp scale: fail unless every sweep point sustains this many events/sec")
 	queryFloor := flag.Float64("query-floor", 0, "with -exp query: fail unless every query prunes at least this ratio of chunks and bytes vs the oracle")
+	flag.BoolVar(&explainMode, "explain", false, "attach the observability registry, print the post-run performance analysis, and embed its JSON into -json output")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -84,7 +93,7 @@ func main() {
 		}()
 	}
 
-	if *tracePath != "" || *metricsPath != "" {
+	if *tracePath != "" || *metricsPath != "" || explainMode {
 		bench.Obs = obs.New()
 		ioengine.RegisterObs(bench.Obs)
 	}
@@ -254,6 +263,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if explainMode {
+		fmt.Println("== post-run performance analysis ==")
+		if err := analyze.Analyze(bench.Obs).WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "scidp-bench: analysis: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *tracePath != "" {
 		writeExport(*tracePath, bench.Obs.WriteChromeTrace)
 	}
@@ -262,8 +278,21 @@ func main() {
 	}
 }
 
-// writeJSON records an experiment's machine-readable result.
+// explainMode is the -explain flag: analyze the attached registry after
+// the experiments and embed the analysis in any -json artifact. Runs
+// that attach their own private registries (the faults sweep's
+// per-run determinism digests) analyze as empty here; the global
+// registry still covers every run routed through bench.Obs.
+var explainMode bool
+
+// writeJSON records an experiment's machine-readable result. With
+// -explain the artifact is wrapped as {"experiment": ..., "analysis":
+// ...} so downstream tooling gets the attribution summary alongside the
+// sweep; without it the schema is unchanged.
 func writeJSON(path string, v any) {
+	if explainMode {
+		v = map[string]any{"experiment": v, "analysis": analyze.Analyze(bench.Obs)}
+	}
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err == nil {
 		err = os.WriteFile(path, append(data, '\n'), 0o644)

@@ -8,6 +8,7 @@
 //
 //	scidpctl [-timestamps n] [-vars QR,VAR01] [-rows n] [-blocksize n] [-local dir] [-v]
 //	scidpctl -chaos plan.json [-timestamps n] [-v]
+//	scidpctl analyze [-chaos plan.json] [-timestamps n] [-workers n] [-json file] [-v]
 //
 // With -local, files are read from a local directory (produced by ncgen)
 // instead of being generated. -v attaches the observability registry and
@@ -20,6 +21,16 @@
 // reports the job outcome together with the injected-fault and recovery
 // counters. The plan format is internal/chaos's Plan: a PRNG seed plus
 // rules ({"kind": "dn-crash", "at": 30, "target": 1}, ...).
+//
+// The analyze subcommand runs the same pipeline (optionally under a
+// chaos plan, optionally on a ComputePool with -workers) and then runs
+// the post-run performance analysis (internal/obs/analyze) over the
+// recorded span tree and metrics: per-job critical path, per-phase time
+// attribution (sched/io/compute/shuffle/recovery), bottleneck resources,
+// and straggler detection. -json writes the machine-readable report;
+// "-" replaces the text report with pure JSON on stdout (pipe into jq).
+// The report is byte-identical across same-seed runs at any worker
+// count.
 package main
 
 import (
@@ -40,6 +51,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		runAnalyze(os.Args[2:])
+		return
+	}
 	timestamps := flag.Int("timestamps", 2, "generated timestamps (ignored with -local)")
 	varsFlag := flag.String("vars", "", "comma-separated variable subset (empty = all)")
 	rows := flag.Int("rows", 0, "rows per dummy block (0 = chunk-aligned)")
@@ -136,6 +151,67 @@ func main() {
 		}
 		fmt.Printf("\n== component metrics ==\n")
 		if err := cfg.Obs.WritePrometheus(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// runAnalyze executes the canonical pipeline (optionally under a chaos
+// plan) and prints the post-run performance analysis.
+func runAnalyze(args []string) {
+	fs := flag.NewFlagSet("scidpctl analyze", flag.ExitOnError)
+	timestamps := fs.Int("timestamps", 4, "generated timestamps")
+	chaosPath := fs.String("chaos", "", "fault plan (JSON) to run the pipeline under")
+	workers := fs.Int("workers", 0, "ComputePool data-plane workers (0 = inline)")
+	jsonPath := fs.String("json", "", "write the analysis as JSON to this file (\"-\" = pure JSON on stdout, no text report)")
+	verbose := fs.Bool("v", false, "append the full component metrics dump")
+	if err := fs.Parse(args); err != nil {
+		fail(err)
+	}
+	var plan *chaos.Plan
+	if *chaosPath != "" {
+		data, err := os.ReadFile(*chaosPath)
+		if err != nil {
+			fail(err)
+		}
+		if plan, err = chaos.ParsePlan(data); err != nil {
+			fail(fmt.Errorf("%s: %w", *chaosPath, err))
+		}
+	}
+	if *timestamps < 1 {
+		*timestamps = 1
+	}
+
+	rep, solRep, reg, err := bench.AnalyzeRun(bench.QuickScale(), *timestamps, plan, *workers, "scidpctl-analyze")
+	if err != nil {
+		fail(err)
+	}
+	// -json - takes over stdout: emit pure JSON so the output pipes
+	// straight into jq or a dashboard without the text report in front.
+	if *jsonPath != "-" {
+		if plan != nil {
+			fmt.Printf("plan %s: seed %d, %d rule(s)\n", *chaosPath, plan.Seed, len(plan.Rules))
+		}
+		fmt.Printf("%s\n\n", solRep.Summary())
+		if err := rep.WriteText(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if *jsonPath != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			fail(err)
+		}
+		data = append(data, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if *verbose {
+		fmt.Printf("\n== component metrics ==\n")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
 			fail(err)
 		}
 	}

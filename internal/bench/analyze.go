@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"scidp/internal/chaos"
+	"scidp/internal/obs"
+	"scidp/internal/obs/analyze"
+	"scidp/internal/sim"
+	"scidp/internal/solutions"
+	"scidp/internal/workloads"
+)
+
+// AnalyzeRun executes the canonical SciDP pipeline once on a fresh
+// fault-capable testbed with a private registry and returns the
+// post-run analysis, the pipeline report, and the registry itself.
+// plan may be nil (no chaos); workers sets the ComputePool size (0 =
+// inline). Two calls with identical arguments produce byte-identical
+// analysis JSON — the regression property cmd/checkanalyze enforces.
+func AnalyzeRun(s Scale, timestamps int, plan *chaos.Plan, workers int, label string) (*analyze.Report, *solutions.Report, *obs.Registry, error) {
+	blobs, ds, err := dataset(s, timestamps)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	reg := obs.New()
+	reg.SetProcess(label)
+	cfg := FaultsEnvConfig(s)
+	cfg.Obs = reg
+	cfg.Chaos = plan
+	cfg.Workers = workers
+	env := solutions.NewEnv(cfg)
+	defer env.Close()
+	workloads.Install(env.PFS, blobs)
+	wl := &solutions.Workload{Dataset: ds, Var: "QR", Analysis: solutions.AnalysisNone}
+
+	var rep *solutions.Report
+	var runErr error
+	env.K.Go("driver", func(p *sim.Proc) {
+		rep, runErr = solutions.RunSciDP(p, env, wl)
+	})
+	env.K.Run()
+	env.ExportSimMetrics()
+	if runErr != nil {
+		return nil, nil, nil, runErr
+	}
+	return analyze.Analyze(reg), rep, reg, nil
+}

@@ -84,9 +84,20 @@ type StreamingInput interface {
 }
 
 // sliceSplits adapts an eagerly-materialized split slice to SplitSource.
+// It owns a private copy of the slice header array: Next releases each
+// entry as consumed so huge split tables shed memory as the job drains
+// them, and that must not scribble nils into the slice the InputFormat
+// returned — formats may hand out a long-lived slice they reuse across
+// Run calls.
 type sliceSplits struct {
 	splits []*Split
 	next   int
+}
+
+func newSliceSplits(splits []*Split) *sliceSplits {
+	own := make([]*Split, len(splits))
+	copy(own, splits)
+	return &sliceSplits{splits: own}
 }
 
 func (ss *sliceSplits) Next(*sim.Proc) (*Split, error) {
@@ -661,7 +672,7 @@ func (j *Job) Run(p *sim.Proc) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: job %s: %w", j.Name, err)
 		}
-		src = &sliceSplits{splits: splits}
+		src = newSliceSplits(splits)
 	}
 	window := j.SplitWindow
 	if window <= 0 {
@@ -1060,6 +1071,10 @@ func (j *Job) runPhase(p *sim.Proc, phase string, feed taskFeed, window int, sta
 						if slow > 1 {
 							taskSpan.Arg("slowdown", slow)
 						}
+						// Startup (container launch) charge, recorded so
+						// post-run analysis can split the attempt's wall
+						// time into launch vs. useful work.
+						taskSpan.Arg("startup", startup*slow)
 					}
 					ts := TaskStats{Label: t.label, Node: node.Name, Start: wp.Now(), Attempt: t.attempt}
 					tc := &TaskContext{job: j, proc: wp, node: node, stats: &ts, result: res,

@@ -535,3 +535,28 @@ func TestSpeculativeBackupLoses(t *testing.T) {
 		t.Fatalf("speculation wins=%v losses=%v, want 0 and 1", wins, losses)
 	}
 }
+
+// TestInputFormatReusableAcrossRuns guards the split-source adapter's
+// copy semantics: an InputFormat that hands out the same long-lived
+// []*Split on every Splits call (the TeraSort wall benchmark does, and
+// any format caching its split table would) must survive repeated Run
+// calls. A destructive drain that nils entries in the returned slice
+// makes the second job see zero splits and silently reduce nothing.
+func TestInputFormatReusableAcrossRuns(t *testing.T) {
+	in := linesInput(0,
+		[]string{"a b a", "c"},
+		[]string{"b b", "a c c"},
+	)
+	for run := 0; run < 2; run++ {
+		k := sim.NewKernel()
+		res := runJob(t, k, wordCountJob(k, in, 2, 2, 2))
+		if len(res.Output) != 3 {
+			t.Fatalf("run %d: output = %+v, want 3 groups", run, res.Output)
+		}
+	}
+	for i, s := range in.splits {
+		if s == nil {
+			t.Fatalf("engine nilled caller's split %d", i)
+		}
+	}
+}

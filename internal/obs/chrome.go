@@ -119,6 +119,10 @@ func (r *Registry) WriteChromeTrace(w io.Writer) error {
 			}
 			return cmp.Compare(a.id, b.id)
 		})
+		// Spans still open at export time get a synthetic end at the
+		// export clock — the region ran at least this long — flagged
+		// "unfinished" rather than being rendered with zero duration.
+		exportClock := r.now()
 		for _, s := range spans {
 			p := s.process
 			if p == "" {
@@ -126,14 +130,14 @@ func (r *Registry) WriteChromeTrace(w io.Writer) error {
 			}
 			end := s.end
 			if s.open {
-				end = s.start
+				end = max(s.start, exportClock)
 			}
 			args := map[string]any{"id": s.id}
 			if s.parent != 0 {
 				args["parent"] = s.parent
 			}
 			if s.open {
-				args["open"] = true
+				args["unfinished"] = true
 			}
 			for _, a := range s.args {
 				args[a.k] = a.v

@@ -103,11 +103,20 @@ const DefaultMaxSpans = 1 << 19
 // New returns an empty registry with default caps and no clock (samples
 // and spans are stamped 0 until SetClock).
 func New() *Registry {
-	return &Registry{
+	r := &Registry{
 		metrics:        make(map[string]*series),
 		maxSpans:       DefaultMaxSpans,
 		gaugeSampleCap: DefaultGaugeSampleCap,
 	}
+	// The registry's own health is a metric like any other: span-buffer
+	// overflow (droppedSpans is otherwise reachable only via Dropped())
+	// and the live span count surface in every export instead of
+	// failing silently.
+	r.AddCollector(func() {
+		r.Counter("obs/spans_dropped_total").Set(float64(r.droppedSpans))
+		r.Gauge("obs/spans_live").Set(float64(len(r.spans)))
+	})
+	return r
 }
 
 // SetClock attaches the virtual-time source. Re-attach per simulation

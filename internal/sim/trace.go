@@ -179,6 +179,7 @@ func (t *Tracer) ExportResourceMetrics(reg *obs.Registry) {
 		flows   float64
 		busy    float64
 		active  int
+		peak    int
 		sinceAt float64
 	}
 	aggs := map[string]*agg{}
@@ -198,6 +199,9 @@ func (t *Tracer) ExportResourceMetrics(reg *obs.Registry) {
 					a.sinceAt = ev.At
 				}
 				a.active++
+				if a.active > a.peak {
+					a.peak = a.active
+				}
 			case "flow-end":
 				a.bytes += ev.Bytes
 				if a.active > 0 {
@@ -222,6 +226,13 @@ func (t *Tracer) ExportResourceMetrics(reg *obs.Registry) {
 		reg.Counter("sim/resource_bytes_total", obs.L("res", n)).Add(a.bytes)
 		reg.Counter("sim/resource_flows_total", obs.L("res", n)).Add(a.flows)
 		reg.Counter("sim/resource_busy_seconds", obs.L("res", n)).Add(a.busy)
+		// Peak concurrent flows is the queue-depth signal bottleneck
+		// ranking wants; a gauge so re-export keeps the maximum rather
+		// than accumulating.
+		g := reg.Gauge("sim/resource_peak_flows", obs.L("res", n))
+		if float64(a.peak) > g.Value() {
+			g.Set(float64(a.peak))
+		}
 	}
 }
 

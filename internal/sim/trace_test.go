@@ -149,6 +149,31 @@ func TestExportResourceMetrics(t *testing.T) {
 	if got := reg.Counter("sim/resource_busy_seconds", obs.L("res", "disk")).Value(); !almostEqual(got, 2) {
 		t.Fatalf("busy = %v, want 2", got)
 	}
+	// The two transfers never overlap, so peak concurrency is 1.
+	if got := reg.Gauge("sim/resource_peak_flows", obs.L("res", "disk")).Value(); got != 1 {
+		t.Fatalf("peak = %v, want 1", got)
+	}
+}
+
+func TestExportResourceMetricsPeakFlows(t *testing.T) {
+	k := NewKernel()
+	tr := &Tracer{}
+	k.SetTracer(tr)
+	disk := NewResource("disk", 100)
+	for i := 0; i < 3; i++ {
+		k.Go("p", func(p *Proc) { p.Transfer(100, disk) })
+	}
+	k.Run()
+	reg := obs.New()
+	tr.ExportResourceMetrics(reg)
+	if got := reg.Gauge("sim/resource_peak_flows", obs.L("res", "disk")).Value(); got != 3 {
+		t.Fatalf("peak = %v, want 3 concurrent flows", got)
+	}
+	// Re-export keeps the max instead of accumulating.
+	tr.ExportResourceMetrics(reg)
+	if got := reg.Gauge("sim/resource_peak_flows", obs.L("res", "disk")).Value(); got != 3 {
+		t.Fatalf("peak after re-export = %v, want 3", got)
+	}
 }
 
 func TestFlowSpansNestUnderProcSpan(t *testing.T) {
