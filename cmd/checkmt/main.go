@@ -1,0 +1,82 @@
+// Command checkmt validates two scidpd replay summaries — the CI smoke
+// gate behind `make mt-smoke`.
+//
+// Usage:
+//
+//	checkmt [-p99-floor SECONDS] [-goodput-floor JOBS/KS] run1.json run2.json
+//
+// The two files must be the -json output of two `scidpd -replay` runs
+// of the same trace (typically at different -workers counts): the gate
+// asserts they are byte-identical — completion digest, export digest,
+// and the full summary — that jobs actually completed, that no tenant
+// exceeded its quota, and optionally that overall p99 latency and
+// goodput clear the given floors. Exit status 0 on success.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"scidp/internal/tenant"
+)
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "checkmt: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	p99Floor := flag.Float64("p99-floor", 0, "fail if overall p99 latency exceeds this many seconds")
+	goodputFloor := flag.Float64("goodput-floor", 0, "fail if goodput falls below this many jobs per 1000 virtual seconds")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fail(fmt.Errorf("usage: checkmt [-p99-floor S] [-goodput-floor G] run1.json run2.json"))
+	}
+
+	raws := make([][]byte, 2)
+	sums := make([]tenant.Summary, 2)
+	for i, path := range flag.Args() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		raws[i] = raw
+		if err := json.Unmarshal(raw, &sums[i]); err != nil {
+			fail(fmt.Errorf("%s: not valid JSON: %w", path, err))
+		}
+	}
+
+	if !bytes.Equal(raws[0], raws[1]) {
+		fail(fmt.Errorf("the two replay summaries are not byte-identical"))
+	}
+	s := sums[0]
+	if s.CompletionDigest == "" || s.CompletionDigest != sums[1].CompletionDigest {
+		fail(fmt.Errorf("completion digests differ or are missing"))
+	}
+	if s.ExportDigest == "" || s.ExportDigest != sums[1].ExportDigest {
+		fail(fmt.Errorf("export digests differ or are missing"))
+	}
+	if s.Completed == 0 {
+		fail(fmt.Errorf("no job completed"))
+	}
+	if s.Completed+s.Rejected+s.Failed != s.Jobs {
+		fail(fmt.Errorf("jobs unaccounted for: %d jobs, %d completed + %d rejected + %d failed",
+			s.Jobs, s.Completed, s.Rejected, s.Failed))
+	}
+	if !s.WithinQuota {
+		fail(fmt.Errorf("a tenant exceeded its quota"))
+	}
+	if *p99Floor > 0 && s.P99Seconds > *p99Floor {
+		fail(fmt.Errorf("p99 floor violated: %.2fs > %.2fs", s.P99Seconds, *p99Floor))
+	}
+	if *goodputFloor > 0 && s.GoodputJobsPerKs < *goodputFloor {
+		fail(fmt.Errorf("goodput floor violated: %.2f < %.2f jobs/ks", s.GoodputJobsPerKs, *goodputFloor))
+	}
+
+	fmt.Printf("ok: %d jobs (%d completed, %d rejected), p50 %.2fs p99 %.2fs, goodput %.0f jobs/ks, %d preemptions, %d backfills, runs byte-identical and within quota\n",
+		s.Jobs, s.Completed, s.Rejected, s.P50Seconds, s.P99Seconds,
+		s.GoodputJobsPerKs, s.Preemptions, s.Backfills)
+}

@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|faults|parallel|ablations|ioengine|scale|query]
+//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|faults|parallel|workflow|ablations|ioengine|scale|query|mt]
 //	            [-quick] [-trace out.json] [-metrics out.prom] [-json out.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-scale-floor N]
-//	            [-query-floor X] [-explain]
+//	            [-query-floor X] [-mt-floor X] [-explain]
 //
 // -quick runs a reduced geometry and smaller sweeps (seconds instead of
 // minutes). Output is one aligned text table per experiment, with paper
@@ -33,7 +33,11 @@
 // CI guard against kernel throughput regressions. -query-floor makes
 // -exp query exit non-zero when any query's skip ratio (oracle chunks
 // decoded or bytes inflated over pushdown's) falls below X — the CI
-// guard against pushdown pruning regressions.
+// guard against pushdown pruning regressions. -mt-floor makes -exp mt
+// exit non-zero when the fair-share + backfill scheduler's interactive
+// small-job p99 speedup over the strict-FIFO baseline (at the highest
+// load point) falls below X — the CI guard against scheduler
+// regressions in the multi-tenant service.
 package main
 
 import (
@@ -52,7 +56,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine, scale, query)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine, scale, query, mt)")
 	quick := flag.Bool("quick", false, "reduced geometry and sweep sizes")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the simulated runs to this file")
@@ -62,6 +66,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	scaleFloor := flag.Float64("scale-floor", 0, "with -exp scale: fail unless every sweep point sustains this many events/sec")
 	queryFloor := flag.Float64("query-floor", 0, "with -exp query: fail unless every query prunes at least this ratio of chunks and bytes vs the oracle")
+	mtFloor := flag.Float64("mt-floor", 0, "with -exp mt: fail unless fair share + backfill speed up interactive p99 over FIFO by at least this factor at the highest load")
 	flag.BoolVar(&explainMode, "explain", false, "attach the observability registry, print the post-run performance analysis, and embed its JSON into -json output")
 	flag.Parse()
 
@@ -258,8 +263,40 @@ func main() {
 		}
 		ran = true
 	}
+	if want("mt") {
+		mtMults := []float64{0.5, 1, 2, 3}
+		mtHorizon := 120.0
+		if *quick {
+			mtHorizon = 60.0
+		}
+		t, mr, err := bench.RunMT(mtMults, mtHorizon)
+		if err != nil {
+			emit(nil, err)
+		}
+		emit(t, nil)
+		if *jsonPath != "" {
+			writeJSON(*jsonPath, mr)
+		}
+		for _, run := range mr.Runs {
+			if !run.Deterministic {
+				fmt.Fprintf(os.Stderr, "scidp-bench: mt load %gx: same-seed repeat diverged\n", run.LoadMult)
+				os.Exit(1)
+			}
+			if !run.WithinQuota {
+				fmt.Fprintf(os.Stderr, "scidp-bench: mt load %gx: a tenant exceeded its quota\n", run.LoadMult)
+				os.Exit(1)
+			}
+		}
+		if *mtFloor > 0 {
+			if sp := mr.MinSpeedup(); sp < *mtFloor {
+				fmt.Fprintf(os.Stderr, "scidp-bench: mt floor violated: fair share sped up interactive p99 only %.2fx over FIFO, floor %.2fx\n", sp, *mtFloor)
+				os.Exit(1)
+			}
+		}
+		ran = true
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine, scale, query)\n", *exp)
+		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine, scale, query, mt)\n", *exp)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,178 @@
+// Command scidpd is the multi-tenant SciDP job service over the
+// simulated cluster: tenants submit grep/sort/write jobs, admission
+// control enforces per-tenant quotas, and a two-level weighted
+// fair-share scheduler with preemption and backfill divides the
+// cluster's task slots.
+//
+// Usage:
+//
+//	scidpd -replay trace.json [-fifo] [-no-backfill] [-workers N]
+//	       [-nodes N] [-slots N] [-json out.json] [-metrics out.prom]
+//	       [-trace out.json] [-p99-floor SECONDS] [-goodput-floor JOBS/KS]
+//	scidpd -http ADDR [same cluster flags]
+//	scidpd -gen out.json [-seed N] [-horizon SECONDS]
+//
+// -replay runs a recorded arrival trace headlessly on the deterministic
+// virtual-time kernel and prints the run summary JSON to stdout: same
+// trace + same flags ⇒ byte-identical schedule, outputs, and exports at
+// any pooled -workers count (-1 inline, 1, 4, 64 — all the same bytes;
+// 0 detaches the data plane, a different but equally deterministic
+// event-schedule shape). -fifo swaps the fair-share scheduler for the
+// strict-FIFO baseline (head-of-line blocking, no preemption, no
+// backfill) — the comparison arm for the mt experiment. -p99-floor and
+// -goodput-floor turn the summary into a CI guard: exit non-zero when
+// overall p99 latency exceeds the floor or goodput falls below it.
+//
+// -http serves the control API (POST /jobs, GET /jobs, GET /jobs/{id},
+// GET /tenants, GET /metrics) from real goroutines bridged onto the
+// kernel: each request applies its mutations and runs the simulation to
+// quiescence, so responses reflect the submitted job's completed
+// future.
+//
+// -gen synthesizes a trace with the load generator's default tenant mix
+// (Poisson arrivals, one diurnal class) and writes it where -replay can
+// read it back.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"scidp/internal/obs"
+	"scidp/internal/solutions"
+	"scidp/internal/tenant"
+	"scidp/internal/tenant/loadgen"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scidpd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	replayPath := flag.String("replay", "", "replay this arrival trace headlessly and print the summary JSON")
+	httpAddr := flag.String("http", "", "serve the control API on this address")
+	genPath := flag.String("gen", "", "synthesize a default-mix trace to this file and exit")
+	seed := flag.Int64("seed", 1, "with -gen: load generator seed")
+	horizon := flag.Float64("horizon", 120, "with -gen: arrival window in virtual seconds")
+	nodes := flag.Int("nodes", 4, "cluster DataNodes")
+	slots := flag.Int("slots", 2, "task slots per node")
+	workers := flag.Int("workers", 1, "data-plane ComputePool workers (-1 = inline pool, 0 = no pool; all pooled counts are byte-identical)")
+	fifo := flag.Bool("fifo", false, "strict-FIFO baseline scheduler instead of fair share")
+	noBackfill := flag.Bool("no-backfill", false, "disable backfill in the fair-share scheduler")
+	jsonPath := flag.String("json", "", "also write the replay summary JSON to this file")
+	metricsPath := flag.String("metrics", "", "write a Prometheus-style metrics dump to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	p99Floor := flag.Float64("p99-floor", 0, "with -replay: fail if overall p99 latency exceeds this many seconds")
+	goodputFloor := flag.Float64("goodput-floor", 0, "with -replay: fail if goodput falls below this many jobs per 1000 virtual seconds")
+	flag.Parse()
+
+	if *genPath != "" {
+		gen(*genPath, *seed, *horizon)
+		return
+	}
+	if (*replayPath == "") == (*httpAddr == "") {
+		fail("exactly one of -replay or -http (or -gen) is required")
+	}
+
+	reg := obs.New()
+	reg.SetProcess("scidpd")
+	env := solutions.NewEnv(solutions.EnvConfig{
+		Nodes: *nodes, SlotsPerNode: *slots, ByteScale: 1,
+		Obs: reg, Workers: *workers,
+	})
+	defer env.Close()
+	svc := tenant.New(env, tenant.Config{FIFO: *fifo, NoBackfill: *noBackfill})
+
+	if *httpAddr != "" {
+		srv := tenant.NewServer(svc)
+		fmt.Fprintf(os.Stderr, "scidpd: serving control API on %s (virtual time, %d slots)\n",
+			*httpAddr, svc.TotalSlots())
+		if err := http.ListenAndServe(*httpAddr, srv.Handler()); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+
+	tr, err := tenant.LoadTrace(*replayPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	sum, err := tenant.Replay(svc, tr)
+	if err != nil {
+		fail("replay: %v", err)
+	}
+	sum.ExportDigest = tenant.RegistryDigest(reg)
+
+	if *tracePath != "" {
+		writeExport(*tracePath, reg.WriteChromeTrace)
+	}
+	if *metricsPath != "" {
+		writeExport(*metricsPath, reg.WritePrometheus)
+	}
+	out, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Println(string(out))
+	if *jsonPath != "" {
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	if !sum.WithinQuota {
+		fail("a tenant exceeded its quota (admission or scheduler bug)")
+	}
+	if *p99Floor > 0 && sum.P99Seconds > *p99Floor {
+		fail("p99 floor violated: %.2fs > %.2fs", sum.P99Seconds, *p99Floor)
+	}
+	if *goodputFloor > 0 && sum.GoodputJobsPerKs < *goodputFloor {
+		fail("goodput floor violated: %.2f < %.2f jobs/ks", sum.GoodputJobsPerKs, *goodputFloor)
+	}
+}
+
+func writeExport(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fail("%s: %v", path, err)
+	}
+}
+
+// gen writes the bundled default mix: an interactive tenant streaming
+// small grep jobs, a batch tenant with diurnal sort/write load, and a
+// bursty low-priority tenant.
+func gen(path string, seed int64, horizon float64) {
+	tr, err := loadgen.Generate(loadgen.TraceSpec{
+		Name: fmt.Sprintf("gen-seed%d", seed), Seed: seed, Horizon: horizon,
+		Classes: []loadgen.Class{
+			{Name: "inter", Rate: 1.00, Kinds: []string{"grep"}, Priority: 1,
+				Quota: tenant.Quota{MaxQueued: 16, MaxRunning: 4, SlotShare: 0.75, Weight: 3}},
+			{Name: "batch", Rate: 0.35, Diurnal: 0.8,
+				Kinds: []string{"sort", "write"}, Sizes: []string{"small", "medium"},
+				Quota: tenant.Quota{MaxQueued: 8, MaxRunning: 2, Weight: 1}},
+			{Name: "burst", Rate: 0.60, Kinds: []string{"write"},
+				Quota: tenant.Quota{MaxQueued: 4, MaxRunning: 1, SlotShare: 0.25, Weight: 1}},
+		},
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	out, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fail("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "scidpd: wrote %d arrivals over %.0fs to %s\n",
+		len(tr.Arrivals), horizon, path)
+}

@@ -1,0 +1,201 @@
+// The mt experiment: the multi-tenant scidpd service under a swept
+// offered load. Three tenant classes — an interactive small-grep
+// tenant, a diurnal batch tenant, and a bursty writer — submit Poisson
+// arrivals at 0.5x, 1x, and 2x of a base intensity; every point replays
+// the same generated trace twice (same-seed determinism check) through
+// the fair-share/backfill scheduler, and the highest point additionally
+// runs the strict-FIFO baseline to measure what fair share + backfill
+// buy the small-job class's tail latency.
+package bench
+
+import (
+	"fmt"
+
+	"scidp/internal/obs"
+	"scidp/internal/solutions"
+	"scidp/internal/tenant"
+	"scidp/internal/tenant/loadgen"
+)
+
+// MTNodes x MTSlotsPerNode is the service cluster: 12 task slots, wide
+// enough that the scheduler's MaxConcurrent job window leaves idle
+// slots for backfill when the running mix skews small.
+const (
+	MTNodes        = 6
+	MTSlotsPerNode = 2
+	// MTSeed roots the load generator for every point.
+	MTSeed = 1337
+)
+
+// mtClasses is the base (1x) tenant mix.
+func mtClasses(mult float64) []loadgen.Class {
+	return []loadgen.Class{
+		{Name: "inter", Rate: 0.50 * mult, Kinds: []string{"grep"}, Priority: 1,
+			Quota: tenant.Quota{MaxQueued: 24, MaxRunning: 4, SlotShare: 0.75, Weight: 3}},
+		{Name: "batch", Rate: 0.20 * mult, Diurnal: 0.7,
+			Kinds: []string{"sort", "write"}, Sizes: []string{"small", "medium"},
+			Quota: tenant.Quota{MaxQueued: 16, MaxRunning: 2, Weight: 1}},
+		{Name: "burst", Rate: 0.30 * mult, Kinds: []string{"write"},
+			Quota: tenant.Quota{MaxQueued: 12, MaxRunning: 2, SlotShare: 0.5, Weight: 1}},
+	}
+}
+
+// MTRun is one load point's outcome.
+type MTRun struct {
+	// LoadMult is the offered-load multiple of the base mix.
+	LoadMult float64 `json:"load_mult"`
+	// Arrivals is the generated trace length.
+	Arrivals  int `json:"arrivals"`
+	Completed int `json:"completed"`
+	Rejected  int `json:"rejected"`
+	Failed    int `json:"failed"`
+	// P50/P99Seconds are job sojourn percentiles across all tenants.
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	// SmallJobP99 is the interactive class's p99 — the tail that fair
+	// share and backfill exist to protect.
+	SmallJobP99      float64 `json:"small_job_p99_seconds"`
+	GoodputJobsPerKs float64 `json:"goodput_jobs_per_ks"`
+	Preemptions      int     `json:"preemptions"`
+	Backfills        int     `json:"backfills"`
+	// Deterministic reports whether the same-seed repeat reproduced
+	// both the completion digest and the export digest byte for byte.
+	Deterministic bool `json:"deterministic"`
+	WithinQuota   bool `json:"within_quota"`
+	// PerClass is the per-tenant breakdown (latency, admission,
+	// preemption and backfill counts, quota high-water marks).
+	PerClass []tenant.TenantSummary `json:"per_class"`
+	// FIFOSmallJobP99 is the strict-FIFO baseline's interactive p99 at
+	// this point (only measured at the highest load; zero elsewhere).
+	FIFOSmallJobP99 float64 `json:"fifo_small_job_p99_seconds,omitempty"`
+	FIFOP99         float64 `json:"fifo_p99_seconds,omitempty"`
+}
+
+// MTResult is the machine-readable mt artifact (BENCH_mt.json).
+type MTResult struct {
+	Solution string  `json:"solution"`
+	Nodes    int     `json:"nodes"`
+	Slots    int     `json:"slots_per_node"`
+	Horizon  float64 `json:"horizon_seconds"`
+	Seed     int64   `json:"seed"`
+	Runs     []MTRun `json:"runs"`
+	// BackfillP99Speedup is FIFO small-job p99 over fair-share
+	// small-job p99 at the highest load — >1 means the fair-share +
+	// backfill scheduler shortened the interactive tail.
+	BackfillP99Speedup float64 `json:"backfill_p99_speedup"`
+}
+
+// MinSpeedup is the -mt-floor guard's measurement.
+func (r *MTResult) MinSpeedup() float64 { return r.BackfillP99Speedup }
+
+// mtReplay runs one trace through a fresh service, returning the
+// summary with the export digest filled in.
+func mtReplay(tr *tenant.Trace, fifo bool) (*tenant.Summary, error) {
+	// A private registry per run: the same-seed repeat must hash a
+	// single run's exports, and the process label must not vary.
+	reg := obs.New()
+	reg.SetProcess("scidpd")
+	env := solutions.NewEnv(solutions.EnvConfig{
+		Nodes: MTNodes, SlotsPerNode: MTSlotsPerNode, ByteScale: 1,
+		Obs: reg, Workers: 1,
+	})
+	defer env.Close()
+	// MaxConcurrent 3 on 12 slots: the job window, not the slot pool,
+	// is the scarce resource, so fair share's backfill path (starting
+	// small jobs beyond the window into idle slots) is load-bearing —
+	// the FIFO baseline has no such path and strands the idle slots.
+	svc := tenant.New(env, tenant.Config{FIFO: fifo, MaxConcurrent: 3})
+	sum, err := tenant.Replay(svc, tr)
+	if err != nil {
+		return nil, err
+	}
+	sum.ExportDigest = tenant.RegistryDigest(reg)
+	return sum, nil
+}
+
+func mtClassP99(sum *tenant.Summary, class string) float64 {
+	for _, t := range sum.PerTenant {
+		if t.Tenant == class {
+			return t.P99Seconds
+		}
+	}
+	return 0
+}
+
+// RunMT sweeps the multi-tenant service across offered-load multiples.
+func RunMT(mults []float64, horizon float64) (*Table, *MTResult, error) {
+	if len(mults) == 0 {
+		mults = []float64{0.5, 1, 2}
+	}
+	res := &MTResult{
+		Solution: "scidpd", Nodes: MTNodes, Slots: MTSlotsPerNode,
+		Horizon: horizon, Seed: MTSeed,
+	}
+	t := &Table{
+		ID:    "MT",
+		Title: "multi-tenant service: fair share + backfill under swept offered load",
+		Header: []string{"load", "jobs", "done", "rej", "p50 s", "p99 s",
+			"inter p99 s", "goodput/ks", "preempt", "backfill", "deterministic"},
+	}
+	for i, mult := range mults {
+		tr, err := loadgen.Generate(loadgen.TraceSpec{
+			Name: fmt.Sprintf("mt-%.2gx", mult), Seed: MTSeed, Horizon: horizon,
+			Classes: mtClasses(mult),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		sum, err := mtReplay(tr, false)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mt %gx: %w", mult, err)
+		}
+		rep, err := mtReplay(tr, false)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mt %gx repeat: %w", mult, err)
+		}
+		run := MTRun{
+			LoadMult: mult, Arrivals: len(tr.Arrivals),
+			Completed: sum.Completed, Rejected: sum.Rejected, Failed: sum.Failed,
+			P50Seconds: sum.P50Seconds, P99Seconds: sum.P99Seconds,
+			SmallJobP99:      mtClassP99(sum, "inter"),
+			GoodputJobsPerKs: sum.GoodputJobsPerKs,
+			Preemptions:      sum.Preemptions, Backfills: sum.Backfills,
+			Deterministic: sum.CompletionDigest == rep.CompletionDigest &&
+				sum.ExportDigest == rep.ExportDigest && sum.ExportDigest != "",
+			WithinQuota: sum.WithinQuota,
+			PerClass:    sum.PerTenant,
+		}
+		// The FIFO baseline arm at the highest load: same trace,
+		// strict arrival order, full-demand grants, no preemption or
+		// backfill.
+		if i == len(mults)-1 {
+			fifoSum, err := mtReplay(tr, true)
+			if err != nil {
+				return nil, nil, fmt.Errorf("mt %gx fifo: %w", mult, err)
+			}
+			run.FIFOSmallJobP99 = mtClassP99(fifoSum, "inter")
+			run.FIFOP99 = fifoSum.P99Seconds
+			if run.SmallJobP99 > 0 {
+				res.BackfillP99Speedup = run.FIFOSmallJobP99 / run.SmallJobP99
+			}
+		}
+		res.Runs = append(res.Runs, run)
+		det := "yes"
+		if !run.Deterministic {
+			det = "NO"
+		}
+		t.AddRow(fmt.Sprintf("%.2gx", mult), fmt.Sprintf("%d", run.Arrivals),
+			fmt.Sprintf("%d", run.Completed), fmt.Sprintf("%d", run.Rejected),
+			secs(run.P50Seconds), secs(run.P99Seconds), secs(run.SmallJobP99),
+			fmt.Sprintf("%.0f", run.GoodputJobsPerKs),
+			fmt.Sprintf("%d", run.Preemptions), fmt.Sprintf("%d", run.Backfills), det)
+	}
+	last := res.Runs[len(res.Runs)-1]
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("cluster %dx%d slots, horizon %.0fs, seed %d; every point is replayed twice same-seed (deterministic column)",
+			MTNodes, MTSlotsPerNode, horizon, MTSeed),
+		fmt.Sprintf("FIFO baseline at %.2gx: interactive p99 %.1fs vs fair-share %.1fs (%.2fx), overall p99 %.1fs vs %.1fs",
+			last.LoadMult, last.FIFOSmallJobP99, last.SmallJobP99,
+			res.BackfillP99Speedup, last.FIFOP99, last.P99Seconds))
+	return t, res, nil
+}

@@ -1,0 +1,155 @@
+package mapreduce
+
+import (
+	"fmt"
+	"testing"
+
+	"scidp/internal/obs"
+	"scidp/internal/sim"
+)
+
+// stubLease is a minimal SlotLease for engine tests: a fixed grant,
+// token bookkeeping, and an explicit kill switch the test flips from a
+// kernel event.
+type stubLease struct {
+	granted int
+	used    int
+	next    uint64
+	held    []uint64
+	killed  map[uint64]bool
+	maxUsed int
+	kills   int
+}
+
+func newStubLease(granted int) *stubLease {
+	return &stubLease{granted: granted, killed: map[uint64]bool{}}
+}
+
+func (l *stubLease) Available() bool { return l.used < l.granted }
+
+func (l *stubLease) Acquire() uint64 {
+	if l.used >= l.granted {
+		panic("stubLease: acquire over grant")
+	}
+	l.next++
+	l.used++
+	if l.used > l.maxUsed {
+		l.maxUsed = l.used
+	}
+	l.held = append(l.held, l.next)
+	return l.next
+}
+
+func (l *stubLease) Release(token uint64) {
+	l.used--
+	delete(l.killed, token)
+	for i, tok := range l.held {
+		if tok == token {
+			l.held = append(l.held[:i], l.held[i+1:]...)
+			break
+		}
+	}
+}
+
+func (l *stubLease) Killed(token uint64) bool { return l.killed[token] }
+
+// killNewest revokes the most recently acquired live token.
+func (l *stubLease) killNewest() {
+	for i := len(l.held) - 1; i >= 0; i-- {
+		if !l.killed[l.held[i]] {
+			l.killed[l.held[i]] = true
+			l.kills++
+			return
+		}
+	}
+}
+
+func kvString(kvs []KV) string {
+	s := ""
+	for _, kv := range kvs {
+		s += fmt.Sprintf("%s=%v;", kv.K, kv.V)
+	}
+	return s
+}
+
+// TestSlotLeaseBoundsConcurrency runs a job on a 2x2 cluster whose lease
+// grants a single slot: the engine must never hold more than one token
+// at a time, and the output must match the unleased run exactly.
+func TestSlotLeaseBoundsConcurrency(t *testing.T) {
+	mkInput := func() *memInput {
+		return linesInput(1.0,
+			[]string{"a b a", "c"}, []string{"b b"}, []string{"a c c"},
+			[]string{"d a"}, []string{"c d"}, []string{"b d d"},
+		)
+	}
+	k0 := sim.NewKernel()
+	base := runJob(t, k0, wordCountJob(k0, mkInput(), 2, 2, 2))
+
+	k := sim.NewKernel()
+	job := wordCountJob(k, mkInput(), 2, 2, 2)
+	lease := newStubLease(1)
+	job.Lease = lease
+	res := runJob(t, k, job)
+
+	if lease.maxUsed != 1 {
+		t.Errorf("max concurrent tokens = %d, want 1", lease.maxUsed)
+	}
+	if lease.used != 0 {
+		t.Errorf("tokens leaked: %d still held", lease.used)
+	}
+	if kvString(res.Output) != kvString(base.Output) {
+		t.Errorf("leased output %q != unleased %q", kvString(res.Output), kvString(base.Output))
+	}
+	if res.Elapsed() <= base.Elapsed() {
+		t.Errorf("1-slot run (%.2fs) should be slower than 4-slot run (%.2fs)",
+			res.Elapsed(), base.Elapsed())
+	}
+}
+
+// TestLeasePreemptionRequeues revokes a running attempt's token mid-map:
+// the attempt must abandon its slot, requeue without consuming the
+// MaxAttempts budget (the job runs with MaxAttempts=1), and the job must
+// still produce the unleased run's exact output.
+func TestLeasePreemptionRequeues(t *testing.T) {
+	mkInput := func() *memInput {
+		return linesInput(2.0,
+			[]string{"a b a", "c"}, []string{"b b"}, []string{"a c c"}, []string{"d a"},
+		)
+	}
+	k0 := sim.NewKernel()
+	base := runJob(t, k0, wordCountJob(k0, mkInput(), 2, 2, 1))
+
+	k := sim.NewKernel()
+	reg := obs.New()
+	reg.SetClock(k)
+	job := wordCountJob(k, mkInput(), 2, 2, 1)
+	job.Obs = reg
+	lease := newStubLease(4)
+	job.Lease = lease
+	// Tasks start at 0.1 (startup) and Charge 2.0s in 0.25s quanta; a
+	// kill at 0.6 lands mid-Charge and is seen at the next quantum edge.
+	k.After(0.6, func() { lease.killNewest() })
+	res := runJob(t, k, job)
+
+	if lease.kills != 1 {
+		t.Fatalf("kills = %d, want 1", lease.kills)
+	}
+	if got := reg.Counter("mr/tasks_preempted_total", obs.L("phase", "map")).Value(); got != 1 {
+		t.Errorf("mr/tasks_preempted_total = %v, want 1", got)
+	}
+	if lease.used != 0 {
+		t.Errorf("tokens leaked: %d still held", lease.used)
+	}
+	if kvString(res.Output) != kvString(base.Output) {
+		t.Errorf("preempted output %q != baseline %q", kvString(res.Output), kvString(base.Output))
+	}
+	// The preempted attempt re-ran: one more map attempt than tasks,
+	// with zero failures (preemption is not a task failure).
+	attempts := reg.Counter("mr/task_attempts_total", obs.L("phase", "map")).Value()
+	if attempts != float64(len(res.MapStats))+1 {
+		t.Errorf("map attempts = %v, want %d", attempts, len(res.MapStats)+1)
+	}
+	if fails := reg.Counter("mr/task_failures_total", obs.L("phase", "map")).Value(); fails != 0 {
+		t.Errorf("map failures = %v, want 0", fails)
+	}
+}

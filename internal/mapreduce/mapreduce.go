@@ -19,6 +19,7 @@
 package mapreduce
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -26,6 +27,47 @@ import (
 	"scidp/internal/obs"
 	"scidp/internal/sim"
 )
+
+// SlotLease gates a job's task slots from the outside: a multi-tenant
+// scheduler grants each running job a slot budget and can shrink it
+// mid-flight (preemption). The engine consults the lease from worker
+// processes on the kernel thread, so implementations need no locking but
+// must be deterministic — state may change only from kernel events.
+//
+// A nil lease (the default) leaves the engine exactly as before: every
+// cluster slot belongs to the job.
+type SlotLease interface {
+	// Available reports whether the job may start another task attempt
+	// right now. Workers finding no slot back off and re-ask.
+	Available() bool
+	// Acquire takes one slot and returns a token identifying the
+	// attempt. The engine calls it only immediately after a true
+	// Available, with no yield in between.
+	Acquire() uint64
+	// Release returns the attempt's slot, whatever the attempt's fate
+	// (commit, failure, or preemption).
+	Release(token uint64)
+	// Killed reports whether the grant shrank out from under this
+	// attempt. The engine polls it between compute quanta and abandons
+	// the attempt (ErrPreempted) when true.
+	Killed(token uint64) bool
+}
+
+// ErrPreempted marks a task attempt abandoned because its slot lease was
+// revoked mid-run. Preempted attempts requeue without consuming the
+// MaxAttempts budget — preemption is the scheduler's doing, not the
+// task's.
+var ErrPreempted = errors.New("mapreduce: task attempt preempted")
+
+// preemptSignal is the panic payload Charge raises when the attempt's
+// lease token is killed mid-compute; runBody recovers it into
+// ErrPreempted. Any other panic passes through untouched.
+type preemptSignal struct{}
+
+// preemptQuantum is the virtual-time slice between lease-revocation
+// checks inside a leased task's Charge, bounding how long a preempted
+// attempt keeps holding its slot.
+const preemptQuantum = 0.25
 
 // KV is one key/value pair.
 type KV struct {
@@ -172,6 +214,13 @@ type Job struct {
 	// bytes, and a registry view of TaskContext.Counter. Nil costs one
 	// check per site.
 	Obs *obs.Registry
+	// Lease, when non-nil, externally gates this job's slot usage: a
+	// multi-tenant scheduler grants and revokes slots while the job
+	// runs. Workers idle when the lease has no free slot, and a running
+	// attempt whose token is killed abandons work at the next compute
+	// quantum and requeues without consuming its MaxAttempts budget.
+	// Nil = the job owns every cluster slot (the historical behavior).
+	Lease SlotLease
 }
 
 // TaskFaults is the engine's single fault-injection point, unifying what
@@ -287,6 +336,10 @@ type TaskContext struct {
 	// slow stretches modeled compute (startup + Charge) for straggler
 	// injection; always >= 1.
 	slow float64
+	// lease/token identify this attempt's slot grant; a nil lease means
+	// the job owns the cluster and Charge never checks for revocation.
+	lease SlotLease
+	token uint64
 }
 
 // Proc returns the task's simulated process (for file-system calls).
@@ -307,8 +360,26 @@ func (tc *TaskContext) Emit(key string, value any) { tc.emit(KV{K: key, V: value
 // the straggler as slow, or speculation could never spot it).
 func (tc *TaskContext) Charge(phase string, d float64) {
 	d *= tc.slow
-	tc.proc.Sleep(d)
-	tc.addPhase(phase, d)
+	if tc.lease == nil || d <= 0 {
+		tc.proc.Sleep(d)
+		tc.addPhase(phase, d)
+		return
+	}
+	// Leased attempts sleep in preemptQuantum slices, checking between
+	// slices whether the scheduler killed this attempt's token; a killed
+	// attempt books the compute it actually spent, then unwinds via the
+	// preemption panic that runBody converts to ErrPreempted.
+	var charged float64
+	for remaining := d; remaining > 0; remaining -= preemptQuantum {
+		q := min(preemptQuantum, remaining)
+		tc.proc.Sleep(q)
+		charged += q
+		if tc.lease.Killed(tc.token) {
+			tc.addPhase(phase, charged)
+			panic(preemptSignal{})
+		}
+	}
+	tc.addPhase(phase, charged)
 }
 
 // Compute runs fn on the kernel's data plane (sim.ComputePool) and
@@ -395,6 +466,22 @@ type task struct {
 	// pendingSpec marks the queued entry as a speculative backup so the
 	// worker that pops it can label the attempt.
 	pendingSpec bool
+}
+
+// runBody executes one task attempt's body, converting the preemption
+// panic (raised by TaskContext.Charge when the attempt's lease token is
+// killed mid-compute) into ErrPreempted; every other panic re-raises.
+func runBody(t *task, tc *TaskContext) (commit func(), err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(preemptSignal); ok {
+				commit, err = nil, ErrPreempted
+				return
+			}
+			panic(r)
+		}
+	}()
+	return t.body(tc)
 }
 
 // localityQueue hands tasks to workers, preferring node-local splits,
@@ -907,7 +994,7 @@ func (j *Job) runPhase(p *sim.Proc, phase string, feed taskFeed, window int, sta
 		window = 1
 	}
 	var phaseSpan *obs.Span
-	var attempts, failures, completed *obs.Counter
+	var attempts, failures, completed, preempted *obs.Counter
 	var specLaunched, specWins, specLosses *obs.Counter
 	var taskSeconds *obs.Histogram
 	if j.Obs != nil {
@@ -916,6 +1003,7 @@ func (j *Job) runPhase(p *sim.Proc, phase string, feed taskFeed, window int, sta
 		attempts = j.Obs.Counter("mr/task_attempts_total", l)
 		failures = j.Obs.Counter("mr/task_failures_total", l)
 		completed = j.Obs.Counter("mr/tasks_total", l)
+		preempted = j.Obs.Counter("mr/tasks_preempted_total", l)
 		specLaunched = j.Obs.Counter("mr/speculative_launched_total", l)
 		specWins = j.Obs.Counter("mr/speculative_wins_total", l)
 		specLosses = j.Obs.Counter("mr/speculative_losses_total", l)
@@ -1016,6 +1104,12 @@ func (j *Job) runPhase(p *sim.Proc, phase string, feed taskFeed, window int, sta
 					if !exhausted && q.live <= window/2 {
 						refill(wp)
 					}
+					if j.Lease != nil && !q.empty() && !j.Lease.Available() {
+						// Work is queued but the job's slot grant is
+						// spent; idle until the scheduler re-grants.
+						wp.Sleep(0.25)
+						continue
+					}
 					t := pull()
 					if t == nil {
 						if q.empty() {
@@ -1042,6 +1136,12 @@ func (j *Job) runPhase(p *sim.Proc, phase string, feed taskFeed, window int, sta
 					}
 					isSpec := t.pendingSpec
 					t.pendingSpec = false
+					var token uint64
+					if j.Lease != nil {
+						// No yield since the Available check above, so
+						// the slot is still free.
+						token = j.Lease.Acquire()
+					}
 					t.attempt++
 					if t.inflight == 0 {
 						t.started = wp.Now()
@@ -1078,19 +1178,40 @@ func (j *Job) runPhase(p *sim.Proc, phase string, feed taskFeed, window int, sta
 					}
 					ts := TaskStats{Label: t.label, Node: node.Name, Start: wp.Now(), Attempt: t.attempt}
 					tc := &TaskContext{job: j, proc: wp, node: node, stats: &ts, result: res,
-						counters: map[string]int64{}, slow: slow}
+						counters: map[string]int64{}, slow: slow,
+						lease: j.Lease, token: token}
 					prevSpan := wp.SetSpan(taskSpan)
 					wp.Sleep(startup * slow)
 					var commit func()
 					var err error
-					if ferr != nil {
+					switch {
+					case ferr != nil:
 						err = ferr
-					} else {
-						commit, err = t.body(tc)
+					case j.Lease != nil && j.Lease.Killed(token):
+						// Revoked during container launch: nothing ran.
+						err = ErrPreempted
+					default:
+						commit, err = runBody(t, tc)
 					}
 					ts.End = wp.Now()
 					wp.SetSpan(prevSpan)
 					t.inflight--
+					if j.Lease != nil {
+						j.Lease.Release(token)
+					}
+					if errors.Is(err, ErrPreempted) {
+						preempted.Inc()
+						taskSpan.Arg("preempted", true)
+						taskSpan.End()
+						if t.done {
+							continue
+						}
+						// Preemption does not consume the retry budget:
+						// hand the attempt back and requeue the task.
+						t.attempt--
+						q.push(t)
+						continue
+					}
 					if err != nil {
 						failures.Inc()
 						taskSpan.Arg("failed", true)

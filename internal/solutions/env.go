@@ -176,13 +176,32 @@ type Env struct {
 
 	// pool is the data-plane worker pool (nil when Workers == 0).
 	pool *sim.ComputePool
+	// closed records Close: run entry points refuse a closed env.
+	closed bool
 }
 
 // Close releases resources the env owns — today the data-plane worker
-// pool, when one was attached. Safe to call on any env, once or more.
+// pool, when one was attached — and marks the env closed: any later
+// Run* call panics instead of silently simulating on released
+// resources. Safe to call on any env, once or more.
 func (e *Env) Close() {
+	e.closed = true
 	if e.pool != nil {
 		e.pool.Close()
+	}
+}
+
+// Closed reports whether Close has been called. An env stays reusable
+// for any number of sequential runs until then.
+func (e *Env) Closed() bool { return e.closed }
+
+// ensureOpen is the loud-failure guard at every run entry point. A
+// closed env may have a drained worker pool; starting a pipeline on it
+// would either deadlock or panic deep inside the data plane, so fail
+// at the boundary with a message that names the actual mistake.
+func (e *Env) ensureOpen() {
+	if e.closed {
+		panic("solutions: run on closed Env (Close was already called)")
 	}
 }
 

@@ -1,0 +1,111 @@
+package solutions
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"scidp/internal/sim"
+	"scidp/internal/workloads"
+)
+
+// reuseSetup builds a small env with the dataset installed on the PFS,
+// ready for SciDP runs.
+func reuseSetup(t *testing.T, workers int) (*Env, *Workload) {
+	t.Helper()
+	spec := workloads.NUWRFSpec{
+		Timestamps: 2, Levels: 4, Lat: 16, Lon: 16, Vars: 2, Dir: "/nuwrf",
+	}
+	blobs, ds, err := workloads.GenerateBlobs(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultEnvConfig(1000, 1)
+	cfg.Nodes = 2
+	cfg.SlotsPerNode = 2
+	cfg.PlotRes = 16
+	cfg.Workers = workers
+	env := NewEnv(cfg)
+	workloads.Install(env.PFS, blobs)
+	return env, &Workload{Dataset: ds, Var: "QR", Analysis: AnalysisNone}
+}
+
+// TestEnvSequentialRuns is the reuse contract: one env must support any
+// number of sequential pipeline runs (each under a distinct Name so the
+// Data Mapper's virtual inodes do not collide), with no state leaking
+// from one run into the next — the second run must produce the same
+// result volume as the first.
+func TestEnvSequentialRuns(t *testing.T) {
+	env, wl := reuseSetup(t, 2)
+	defer env.Close()
+	reps := make([]*Report, 2)
+	for i := range reps {
+		var runErr error
+		name := fmt.Sprintf("scidp-run%d", i)
+		env.K.Go(name, func(p *sim.Proc) {
+			reps[i], runErr = RunSciDPWith(p, env, wl, SciDPOptions{Name: name})
+		})
+		env.K.Run()
+		if runErr != nil {
+			t.Fatalf("run %d: %v", i, runErr)
+		}
+		if reps[i].TotalSeconds <= 0 || reps[i].Images <= 0 {
+			t.Fatalf("run %d produced nothing: %+v", i, reps[i])
+		}
+	}
+	if reps[0].Images != reps[1].Images {
+		t.Errorf("second run leaked state: images %d vs %d",
+			reps[0].Images, reps[1].Images)
+	}
+	// The second run starts at a later absolute virtual time, so the
+	// elapsed-time subtraction rounds differently in the last ulp —
+	// compare with a nanosecond tolerance, not bit equality.
+	if d := reps[0].ProcessSeconds - reps[1].ProcessSeconds; d > 1e-9 || d < -1e-9 {
+		t.Errorf("second run leaked state: process time %.9fs vs %.9fs",
+			reps[0].ProcessSeconds, reps[1].ProcessSeconds)
+	}
+}
+
+// TestRunAfterCloseFailsLoudly: a run attempted on a closed env must
+// panic at the entry point with a message naming the mistake, not
+// deadlock or die deep inside the data plane.
+func TestRunAfterCloseFailsLoudly(t *testing.T) {
+	env, wl := reuseSetup(t, 2)
+	env.Close()
+	panicked := false
+	env.K.Go("driver", func(p *sim.Proc) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Error("RunSciDP on closed env did not panic")
+				return
+			}
+			if !strings.Contains(fmt.Sprint(r), "closed Env") {
+				t.Errorf("panic message does not name the closed env: %v", r)
+			}
+			panicked = true
+		}()
+		_, _ = RunSciDP(p, env, wl)
+	})
+	env.K.Run()
+	if !panicked {
+		t.Fatal("driver never ran")
+	}
+	if !env.Closed() {
+		t.Fatal("Closed() lies")
+	}
+}
+
+// TestCloseIdempotent: Close twice is fine, and Closed flips exactly
+// once.
+func TestCloseIdempotent(t *testing.T) {
+	env, _ := reuseSetup(t, 1)
+	if env.Closed() {
+		t.Fatal("fresh env reports closed")
+	}
+	env.Close()
+	env.Close()
+	if !env.Closed() {
+		t.Fatal("closed env reports open")
+	}
+}

@@ -50,6 +50,7 @@ type WorkflowConfig struct {
 // is generated"; otherwise analysis starts only after the run completes
 // (the conventional offline workflow).
 func RunWorkflow(p *sim.Proc, env *Env, cfg WorkflowConfig) (*WorkflowReport, error) {
+	env.ensureOpen()
 	rep := &WorkflowReport{Strategy: "offline"}
 	if cfg.InSitu {
 		rep.Strategy = "in-situ"

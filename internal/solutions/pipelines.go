@@ -184,6 +184,7 @@ func (s staticInput) ForEach(tc *mapreduce.TaskContext, sp *mapreduce.Split, fn 
 // RunNaive is Table I's first row: sequential conversion, sequential
 // copy, sequential processing on one node.
 func RunNaive(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
+	env.ensureOpen()
 	rep := &Report{Solution: "naive"}
 	start := p.Now()
 	csvs, textBytes, err := ConvertToCSV(p, env, wl)
@@ -253,6 +254,7 @@ func RunNaive(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
 // RunVanillaHadoop is Table I's second row: conversion, then parallel
 // copy of the text onto HDFS, then parallel processing of the text.
 func RunVanillaHadoop(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
+	env.ensureOpen()
 	rep := &Report{Solution: "vanilla-hadoop"}
 	start := p.Now()
 	csvs, textBytes, err := ConvertToCSV(p, env, wl)
@@ -289,6 +291,7 @@ func RunVanillaHadoop(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
 // the text is processed in place on the PFS through flat virtual blocks
 // (PortHadoop's virtual-block design, which SciDP generalizes).
 func RunPortHadoop(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
+	env.ensureOpen()
 	rep := &Report{Solution: "porthadoop"}
 	start := p.Now()
 	_, textBytes, err := ConvertToCSV(p, env, wl)
@@ -333,6 +336,7 @@ func RunPortHadoop(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
 // HDFS before processing ("the netCDF file is not dividable in the
 // variable level, the whole file has to be moved").
 func RunSciHadoop(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
+	env.ensureOpen()
 	rep := &Report{Solution: "scihadoop"}
 	start := p.Now()
 	staged, moved, err := distcp(p, env, wl.Dataset.Files, "/staged-nc")
@@ -395,6 +399,7 @@ func RunSciDP(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
 
 // RunSciDPWith is RunSciDP with explicit tuning.
 func RunSciDPWith(p *sim.Proc, env *Env, wl *Workload, opts SciDPOptions) (*Report, error) {
+	env.ensureOpen()
 	name := opts.Name
 	if name == "" {
 		name = "scidp"
@@ -457,6 +462,7 @@ func RunSciDPWith(p *sim.Proc, env *Env, wl *Workload, opts SciDPOptions) (*Repo
 // RunSciDP isolates the benefit of overlapping PFS reads with other
 // tasks' computation.
 func RunSciDPStaged(p *sim.Proc, env *Env, wl *Workload) (*Report, error) {
+	env.ensureOpen()
 	rep := &Report{Solution: "scidp-staged"}
 	start := p.Now()
 	mapper := core.NewMapper(env.HDFS, env.Registry, "/scidp-staged")

@@ -1,0 +1,141 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"scidp/internal/tenant"
+)
+
+func spec() TraceSpec {
+	return TraceSpec{
+		Name:    "gen-test",
+		Seed:    42,
+		Horizon: 1000,
+		Classes: []Class{
+			{Name: "inter", Rate: 0.05, Kinds: []string{"grep"},
+				Quota: tenant.Quota{MaxRunning: 2, Weight: 2}},
+			{Name: "batch", Rate: 0.02, Diurnal: 0.8,
+				Kinds: []string{"sort"}, Sizes: []string{"medium"},
+				Quota: tenant.Quota{MaxRunning: 1}},
+		},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatal("same spec produced different traces")
+	}
+	if len(a.Arrivals) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestGenerateSortedAndInHorizon(t *testing.T) {
+	tr, err := Generate(spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := 0.0
+	for i, a := range tr.Arrivals {
+		if a.At < last {
+			t.Fatalf("arrival %d out of order: %g after %g", i, a.At, last)
+		}
+		if a.At >= 1000 {
+			t.Fatalf("arrival %d beyond horizon: %g", i, a.At)
+		}
+		last = a.At
+	}
+	if len(tr.Quotas) != 2 {
+		t.Fatalf("quotas = %v", tr.Quotas)
+	}
+}
+
+// TestPerClassStreamIsolation: changing one class's rate must not move
+// the other class's arrivals.
+func TestPerClassStreamIsolation(t *testing.T) {
+	pick := func(tr *tenant.Trace, name string) []float64 {
+		var out []float64
+		for _, a := range tr.Arrivals {
+			if a.Spec.Tenant == name {
+				out = append(out, a.At)
+			}
+		}
+		return out
+	}
+	base, _ := Generate(spec())
+	s := spec()
+	s.Classes[1].Rate = 0.08 // perturb batch only
+	bumped, _ := Generate(s)
+	a, b := pick(base, "inter"), pick(bumped, "inter")
+	if len(a) != len(b) {
+		t.Fatalf("inter arrivals changed count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("inter arrival %d moved: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPoissonRateRoughlyHonored: a long homogeneous stream should land
+// near Rate*Horizon arrivals (within 4 sigma).
+func TestPoissonRateRoughlyHonored(t *testing.T) {
+	s := TraceSpec{Seed: 7, Horizon: 10000,
+		Classes: []Class{{Name: "t", Rate: 0.1, Quota: tenant.Quota{}}}}
+	tr, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Classes[0].Rate * s.Horizon
+	got := float64(len(tr.Arrivals))
+	if sigma := math.Sqrt(want); math.Abs(got-want) > 4*sigma {
+		t.Fatalf("arrivals = %g, want ~%g (±%g)", got, want, 4*sigma)
+	}
+}
+
+// TestDiurnalThinsOffPeak: with strong modulation the first half-cycle
+// (rate above mean) must carry more arrivals than the second.
+func TestDiurnalThinsOffPeak(t *testing.T) {
+	s := TraceSpec{Seed: 3, Horizon: 10000,
+		Classes: []Class{{Name: "d", Rate: 0.1, Diurnal: 0.9, Period: 10000}}}
+	tr, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstHalf := 0
+	for _, a := range tr.Arrivals {
+		if a.At < 5000 {
+			firstHalf++
+		}
+	}
+	secondHalf := len(tr.Arrivals) - firstHalf
+	if firstHalf <= secondHalf {
+		t.Fatalf("diurnal peak not honored: %d on-peak vs %d off-peak", firstHalf, secondHalf)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	for _, bad := range []TraceSpec{
+		{Horizon: 0},
+		{Horizon: 10, Classes: []Class{{Name: "", Rate: 1}}},
+		{Horizon: 10, Classes: []Class{{Name: "a", Rate: 0}}},
+		{Horizon: 10, Classes: []Class{{Name: "a", Rate: 1, Diurnal: 1.5}}},
+		{Horizon: 10, Classes: []Class{{Name: "a", Rate: 1}, {Name: "a", Rate: 1}}},
+	} {
+		if _, err := Generate(bad); err == nil {
+			t.Errorf("spec %+v accepted", bad)
+		}
+	}
+}
