@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-paper obs-smoke chaos-smoke scale-smoke query-smoke analyze-smoke mt-smoke
+.PHONY: check fmt vet build test race bench bench-paper obs-smoke chaos-smoke scale-smoke query-smoke analyze-smoke mt-smoke cache-smoke
 
 # check is the CI gate: formatting, vet, build, full tests, the race
 # detector across the whole module (the data-plane compute pool makes
 # real goroutine concurrency reachable from every package), and the
 # observability, chaos, scale, query, analysis, and multi-tenant smoke
 # tests.
-check: fmt vet build test race obs-smoke chaos-smoke scale-smoke query-smoke analyze-smoke mt-smoke
+check: fmt vet build test race obs-smoke chaos-smoke scale-smoke query-smoke analyze-smoke mt-smoke cache-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -80,6 +80,18 @@ mt-smoke:
 	$(GO) run ./cmd/scidpd -replay cmd/scidpd/testdata/trace-small.json -workers 1 -json "$$tmp/run1.json" > /dev/null; \
 	$(GO) run ./cmd/scidpd -replay cmd/scidpd/testdata/trace-small.json -workers 4 -json "$$tmp/run2.json" > /dev/null; \
 	$(GO) run ./cmd/checkmt -p99-floor 10 -goodput-floor 800 "$$tmp/run1.json" "$$tmp/run2.json"
+
+# cache-smoke runs the quick tiered-cache sweep twice and asserts via
+# checkcache that the two artifacts are byte-identical (same-seed
+# determinism through the cooperative cache), that every tiered point's
+# job outputs match the cache-off baseline, that cross-job hits appear
+# wherever the tier is not churning, and that the mt arm's hit rate
+# clears a conservative floor (observed: 0.91 on the quick trace).
+cache-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/scidp-bench -exp cache -quick -json "$$tmp/run1.json" > /dev/null; \
+	$(GO) run ./cmd/scidp-bench -exp cache -quick -json "$$tmp/run2.json" > /dev/null; \
+	$(GO) run ./cmd/checkcache -hit-floor 0.2 "$$tmp/run1.json" "$$tmp/run2.json"
 
 # chaos-smoke runs the quick fault-injection sweep and asserts every run
 # completed with output byte-identical to the fault-free baseline, the

@@ -1,0 +1,113 @@
+// Command checkcache validates two cache-experiment artifacts — the CI
+// smoke gate behind `make cache-smoke`.
+//
+// Usage:
+//
+//	checkcache [-hit-floor X] [-speedup-floor X] run1.json run2.json
+//
+// The two files must be the -json output of two `scidp-bench -exp
+// cache` runs with identical flags (same seed by construction): the
+// gate asserts they are byte-identical — the tiered cooperative cache
+// must be deterministic end to end — and then checks one artifact's
+// invariants: every sweep point worker-count deterministic, every
+// tiered point's job outputs byte-identical to the cache-off baseline,
+// cross-job hits present wherever the tier is not churning, and the mt
+// arm deterministic with a non-zero hit rate. -hit-floor sets a minimum
+// on the best tiered point's cross-job hit rate; -speedup-floor on the
+// best JCT speedup over the cache-off baseline. Exit status 0 on
+// success.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"scidp/internal/bench"
+)
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "checkcache: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	hitFloor := flag.Float64("hit-floor", 0, "fail unless some tiered point's cross-job hit rate reaches this")
+	speedupFloor := flag.Float64("speedup-floor", 0, "fail unless the best tiered JCT speedup over cache-off reaches this")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fail(fmt.Errorf("usage: checkcache [-hit-floor X] [-speedup-floor X] run1.json run2.json"))
+	}
+
+	raws := make([][]byte, 2)
+	results := make([]bench.CacheResult, 2)
+	for i, path := range flag.Args() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		raws[i] = raw
+		if err := json.Unmarshal(raw, &results[i]); err != nil {
+			fail(fmt.Errorf("%s: not valid JSON: %w", path, err))
+		}
+	}
+
+	if !bytes.Equal(raws[0], raws[1]) {
+		fail(fmt.Errorf("the two cache artifacts are not byte-identical (same-seed repeat diverged)"))
+	}
+	r := results[0]
+	if len(r.Runs) < 2 {
+		fail(fmt.Errorf("artifact holds %d sweep points, want the off baseline plus tiered points", len(r.Runs)))
+	}
+	bestHit := 0.0
+	tiered := 0
+	for _, run := range r.Runs {
+		if !run.Deterministic {
+			fail(fmt.Errorf("point %s/%dB: workers=1 and workers=4 runs diverged", run.Policy, run.CapacityBytes))
+		}
+		if !run.OutputsMatchBaseline {
+			fail(fmt.Errorf("point %s/%dB: job outputs differ from the cache-off baseline", run.Policy, run.CapacityBytes))
+		}
+		if run.OutputDigest == "" {
+			fail(fmt.Errorf("point %s/%dB: missing output digest", run.Policy, run.CapacityBytes))
+		}
+		if run.Policy == "off" {
+			continue
+		}
+		tiered++
+		if run.CrossJobHitRate <= 0 && run.Evictions == 0 {
+			fail(fmt.Errorf("point %s/%dB: zero cross-job hit rate without eviction churn", run.Policy, run.CapacityBytes))
+		}
+		if run.CrossJobHitRate > bestHit {
+			bestHit = run.CrossJobHitRate
+		}
+	}
+	if tiered == 0 {
+		fail(fmt.Errorf("artifact holds no tiered sweep points"))
+	}
+	if bestHit <= 0 {
+		fail(fmt.Errorf("no tiered point served a single cross-job hit"))
+	}
+	if *hitFloor > 0 && bestHit < *hitFloor {
+		fail(fmt.Errorf("hit-rate floor violated: best cross-job hit rate %.2f < %.2f", bestHit, *hitFloor))
+	}
+	if *speedupFloor > 0 {
+		if sp := r.BestSpeedup(); sp < *speedupFloor {
+			fail(fmt.Errorf("speedup floor violated: best tiered JCT speedup %.3fx < %.3fx", sp, *speedupFloor))
+		}
+	}
+	if r.MT == nil {
+		fail(fmt.Errorf("artifact is missing the multi-tenant arm"))
+	}
+	if !r.MT.Deterministic {
+		fail(fmt.Errorf("mt arm: same-seed tiered repeat diverged"))
+	}
+	if r.MT.HitRate <= 0 {
+		fail(fmt.Errorf("mt arm: zero hit rate on the repeated-catalog trace"))
+	}
+
+	fmt.Printf("ok: %d tiered points (best hit rate %.2f, best speedup %.3fx), mt hit rate %.2f, artifacts byte-identical, outputs match cache-off at every point\n",
+		tiered, bestHit, r.BestSpeedup(), r.MT.HitRate)
+}

@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|faults|parallel|workflow|ablations|ioengine|scale|query|mt]
+//	scidp-bench [-exp all|fig2|table1|table2|fig5|table3|fig6|fig7|fig8|fig9|faults|parallel|workflow|ablations|ioengine|scale|query|mt|cache]
 //	            [-quick] [-trace out.json] [-metrics out.prom] [-json out.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-scale-floor N]
-//	            [-query-floor X] [-mt-floor X] [-explain]
+//	            [-query-floor X] [-mt-floor X] [-cache-floor X] [-explain]
 //
 // -quick runs a reduced geometry and smaller sweeps (seconds instead of
 // minutes). Output is one aligned text table per experiment, with paper
@@ -37,7 +37,12 @@
 // exit non-zero when the fair-share + backfill scheduler's interactive
 // small-job p99 speedup over the strict-FIFO baseline (at the highest
 // load point) falls below X — the CI guard against scheduler
-// regressions in the multi-tenant service.
+// regressions in the multi-tenant service. -cache-floor makes -exp
+// cache exit non-zero when the tiered cooperative cache's best JCT
+// speedup over the cache-off baseline falls below X — the CI guard
+// against cache-tier regressions (the cache experiment always fails on
+// a non-deterministic point, a tiered point whose job outputs differ
+// from the cache-off run's, or a zero cross-job hit rate).
 package main
 
 import (
@@ -56,7 +61,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine, scale, query, mt)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine, scale, query, mt, cache)")
 	quick := flag.Bool("quick", false, "reduced geometry and sweep sizes")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the simulated runs to this file")
@@ -67,6 +72,7 @@ func main() {
 	scaleFloor := flag.Float64("scale-floor", 0, "with -exp scale: fail unless every sweep point sustains this many events/sec")
 	queryFloor := flag.Float64("query-floor", 0, "with -exp query: fail unless every query prunes at least this ratio of chunks and bytes vs the oracle")
 	mtFloor := flag.Float64("mt-floor", 0, "with -exp mt: fail unless fair share + backfill speed up interactive p99 over FIFO by at least this factor at the highest load")
+	cacheFloor := flag.Float64("cache-floor", 0, "with -exp cache: fail unless the best tiered sweep point speeds up the overlapping-job JCT over the cache-off baseline by at least this factor")
 	flag.BoolVar(&explainMode, "explain", false, "attach the observability registry, print the post-run performance analysis, and embed its JSON into -json output")
 	flag.Parse()
 
@@ -295,8 +301,56 @@ func main() {
 		}
 		ran = true
 	}
+	if want("cache") {
+		cacheSize := 48
+		cacheHorizon := 120.0
+		if *quick {
+			cacheSize = 8
+			cacheHorizon = 60.0
+		}
+		t, cr, err := bench.RunCache(scale, cacheSize, cacheHorizon)
+		if err != nil {
+			emit(nil, err)
+		}
+		emit(t, nil)
+		if *jsonPath != "" {
+			writeJSON(*jsonPath, cr)
+		}
+		// The tier's correctness contract is unconditional: every point
+		// must be worker-count deterministic, every tiered point must
+		// reproduce the cache-off job outputs byte for byte and serve at
+		// least one cross-job hit.
+		for _, run := range cr.Runs {
+			if !run.Deterministic {
+				fmt.Fprintf(os.Stderr, "scidp-bench: cache %s/%dB: workers=1 and workers=4 runs diverged\n", run.Policy, run.CapacityBytes)
+				os.Exit(1)
+			}
+			if !run.OutputsMatchBaseline {
+				fmt.Fprintf(os.Stderr, "scidp-bench: cache %s/%dB: job outputs differ from the cache-off baseline\n", run.Policy, run.CapacityBytes)
+				os.Exit(1)
+			}
+			// A tiered point with no hits AND no eviction churn means the
+			// tier never shared anything — a wiring bug. A churning point
+			// may honestly hit zero (LRU under a sequential scan).
+			if run.Policy != "off" && run.CrossJobHitRate <= 0 && run.Evictions == 0 {
+				fmt.Fprintf(os.Stderr, "scidp-bench: cache %s/%dB: zero cross-job hit rate without churn\n", run.Policy, run.CapacityBytes)
+				os.Exit(1)
+			}
+		}
+		if cr.MT != nil && !cr.MT.Deterministic {
+			fmt.Fprintf(os.Stderr, "scidp-bench: cache mt arm: same-seed tiered repeat diverged\n")
+			os.Exit(1)
+		}
+		if *cacheFloor > 0 {
+			if sp := cr.BestSpeedup(); sp < *cacheFloor {
+				fmt.Fprintf(os.Stderr, "scidp-bench: cache floor violated: best tiered JCT speedup %.2fx over cache-off, floor %.2fx\n", sp, *cacheFloor)
+				os.Exit(1)
+			}
+		}
+		ran = true
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine, scale, query, mt)\n", *exp)
+		fmt.Fprintf(os.Stderr, "scidp-bench: unknown experiment %q (want one of all, fig2, table1, table2, fig5, table3, fig6, fig7, fig8, fig9, faults, parallel, workflow, ablations, ioengine, scale, query, mt, cache)\n", *exp)
 		os.Exit(2)
 	}
 

@@ -8,7 +8,7 @@
 //
 //	scidpctl [-timestamps n] [-vars QR,VAR01] [-rows n] [-blocksize n] [-local dir] [-v]
 //	scidpctl -chaos plan.json [-timestamps n] [-v]
-//	scidpctl analyze [-chaos plan.json] [-timestamps n] [-workers n] [-json file] [-v]
+//	scidpctl analyze [-chaos plan.json] [-timestamps n] [-workers n] [-cache bytes] [-json file] [-v]
 //
 // With -local, files are read from a local directory (produced by ncgen)
 // instead of being generated. -v attaches the observability registry and
@@ -27,7 +27,11 @@
 // the post-run performance analysis (internal/obs/analyze) over the
 // recorded span tree and metrics: per-job critical path, per-phase time
 // attribution (sched/io/compute/shuffle/recovery), bottleneck resources,
-// and straggler detection. -json writes the machine-readable report;
+// and straggler detection. -cache attaches a cooperative cache tier
+// (cost-aware eviction, that many bytes per node) and adds a per-level
+// cache_tier section — where reads were served: node-local buffer,
+// peer buffer, or OST — to the report and, with -v, a "== cache
+// tier ==" table. -json writes the machine-readable report;
 // "-" replaces the text report with pure JSON on stdout (pipe into jq).
 // The report is byte-identical across same-seed runs at any worker
 // count.
@@ -44,6 +48,7 @@ import (
 	"scidp/internal/chaos"
 	"scidp/internal/core"
 	"scidp/internal/hdfs"
+	"scidp/internal/ioengine"
 	"scidp/internal/obs"
 	"scidp/internal/sim"
 	"scidp/internal/solutions"
@@ -163,6 +168,7 @@ func runAnalyze(args []string) {
 	timestamps := fs.Int("timestamps", 4, "generated timestamps")
 	chaosPath := fs.String("chaos", "", "fault plan (JSON) to run the pipeline under")
 	workers := fs.Int("workers", 0, "ComputePool data-plane workers (0 = inline)")
+	cacheBytes := fs.Int64("cache", 0, "attach a cooperative cache tier with this many bytes per node (0 = no tier)")
 	jsonPath := fs.String("json", "", "write the analysis as JSON to this file (\"-\" = pure JSON on stdout, no text report)")
 	verbose := fs.Bool("v", false, "append the full component metrics dump")
 	if err := fs.Parse(args); err != nil {
@@ -182,7 +188,8 @@ func runAnalyze(args []string) {
 		*timestamps = 1
 	}
 
-	rep, solRep, reg, err := bench.AnalyzeRun(bench.QuickScale(), *timestamps, plan, *workers, "scidpctl-analyze")
+	tier := ioengine.TierConfig{NodeBytes: *cacheBytes, Policy: ioengine.PolicyCost}
+	rep, solRep, reg, err := bench.AnalyzeRunTier(bench.QuickScale(), *timestamps, plan, *workers, "scidpctl-analyze", tier)
 	if err != nil {
 		fail(err)
 	}
@@ -210,9 +217,48 @@ func runAnalyze(args []string) {
 		}
 	}
 	if *verbose {
+		printCacheTier(reg)
 		fmt.Printf("\n== component metrics ==\n")
 		if err := reg.WritePrometheus(os.Stdout); err != nil {
 			fail(err)
+		}
+	}
+}
+
+// printCacheTier prints the per-level cooperative-cache breakdown when
+// the registry holds ioengine tier series — i.e. a cache tier was
+// attached and arbitrated at least one read. Silent otherwise.
+func printCacheTier(reg *obs.Registry) {
+	type lvl struct{ reads, bytes, ratio float64 }
+	levels := map[string]*lvl{}
+	get := func(name string) *lvl {
+		e := levels[name]
+		if e == nil {
+			e = &lvl{}
+			levels[name] = e
+		}
+		return e
+	}
+	total := 0.0
+	for _, s := range reg.Snapshot() {
+		switch s.Name {
+		case "ioengine/tier_reads_total":
+			get(s.Label("level")).reads = s.Value
+			total += s.Value
+		case "ioengine/tier_bytes_total":
+			get(s.Label("level")).bytes = s.Value
+		case "ioengine/cache_hit_ratio":
+			get(s.Label("level")).ratio = s.Value
+		}
+	}
+	if total == 0 {
+		return
+	}
+	fmt.Printf("\n== cache tier ==\n")
+	fmt.Printf("%-6s %10s %14s %8s\n", "level", "reads", "bytes", "ratio")
+	for _, name := range []string{"local", "peer", "ost"} {
+		if e := levels[name]; e != nil {
+			fmt.Printf("%-6s %10.0f %14.0f %7.1f%%\n", name, e.reads, e.bytes, e.ratio*100)
 		}
 	}
 }

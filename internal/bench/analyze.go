@@ -2,6 +2,7 @@ package bench
 
 import (
 	"scidp/internal/chaos"
+	"scidp/internal/ioengine"
 	"scidp/internal/obs"
 	"scidp/internal/obs/analyze"
 	"scidp/internal/sim"
@@ -16,6 +17,14 @@ import (
 // inline). Two calls with identical arguments produce byte-identical
 // analysis JSON — the regression property cmd/checkanalyze enforces.
 func AnalyzeRun(s Scale, timestamps int, plan *chaos.Plan, workers int, label string) (*analyze.Report, *solutions.Report, *obs.Registry, error) {
+	return AnalyzeRunTier(s, timestamps, plan, workers, label, ioengine.TierConfig{})
+}
+
+// AnalyzeRunTier is AnalyzeRun with a cooperative cache tier attached
+// to the testbed (zero TierConfig: no tier — identical to AnalyzeRun).
+// The report's cache_tier section then breaks tier-arbitrated reads
+// down by serving level.
+func AnalyzeRunTier(s Scale, timestamps int, plan *chaos.Plan, workers int, label string, tier ioengine.TierConfig) (*analyze.Report, *solutions.Report, *obs.Registry, error) {
 	blobs, ds, err := dataset(s, timestamps)
 	if err != nil {
 		return nil, nil, nil, err
@@ -26,6 +35,7 @@ func AnalyzeRun(s Scale, timestamps int, plan *chaos.Plan, workers int, label st
 	cfg.Obs = reg
 	cfg.Chaos = plan
 	cfg.Workers = workers
+	cfg.CacheTier = tier
 	env := solutions.NewEnv(cfg)
 	defer env.Close()
 	workloads.Install(env.PFS, blobs)

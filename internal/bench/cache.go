@@ -1,0 +1,371 @@
+// The cache experiment: the tiered cooperative cache (node-local burst
+// buffers + peer fetch + cost-aware eviction) under two overlapping
+// SciDP jobs reading the same dataset, swept across tier capacity and
+// eviction policy, plus a multi-tenant arm replaying the scidpd trace
+// with the tier attached. Every tiered point must reproduce the
+// cache-off job outputs byte for byte and be same-seed deterministic at
+// any data-plane worker count — a cache that changes results is a bug,
+// not a speedup.
+package bench
+
+import (
+	"fmt"
+
+	"scidp/internal/ioengine"
+	"scidp/internal/obs"
+	"scidp/internal/sim"
+	"scidp/internal/solutions"
+	"scidp/internal/tenant/loadgen"
+	"scidp/internal/workloads"
+)
+
+// CacheRun is one (capacity, policy) sweep point's outcome. The
+// baseline point carries Policy "off" and zero capacity.
+type CacheRun struct {
+	// CapacityBytes is the per-node burst-buffer capacity (0 = tier off).
+	CapacityBytes int64 `json:"capacity_bytes"`
+	// Policy is the eviction policy ("lru", "cost", or "off").
+	Policy string `json:"policy"`
+	// JCTSeconds is the virtual makespan of the two overlapping jobs.
+	JCTSeconds float64 `json:"jct_seconds"`
+	// SpeedupVsOff is baseline makespan over this point's makespan (1.0
+	// for the baseline itself).
+	SpeedupVsOff float64 `json:"speedup_vs_off"`
+	// TailJCTSeconds is the trailing job's own start-to-finish time —
+	// the job whose reads the tier serves, so the cache's beneficiary.
+	TailJCTSeconds float64 `json:"tail_jct_seconds"`
+	// TailSpeedupVsOff is the baseline's tail JCT over this point's.
+	TailSpeedupVsOff float64 `json:"tail_speedup_vs_off"`
+	// Per-level tier traffic: reads and bytes served from the local
+	// buffer, a peer's buffer, and the OSTs.
+	LocalHits  int64 `json:"local_hits"`
+	PeerHits   int64 `json:"peer_hits"`
+	OSTReads   int64 `json:"ost_reads"`
+	LocalBytes int64 `json:"local_bytes"`
+	PeerBytes  int64 `json:"peer_bytes"`
+	OSTBytes   int64 `json:"ost_bytes"`
+	Evictions  int64 `json:"evictions"`
+	Promotions int64 `json:"promotions"`
+	// CrossJobHitRate is the tier hit rate. Each job reads every chunk
+	// once (intra-job reuse is absorbed by the per-job chunk cache
+	// before the tier is consulted), so tier hits are blocks one job
+	// admitted and the other reused.
+	CrossJobHitRate float64 `json:"cross_job_hit_rate"`
+	// OutputDigest hashes the audited outputs of both jobs.
+	OutputDigest string `json:"output_digest"`
+	// ExportDigest hashes the run's Chrome-trace + Prometheus exports.
+	ExportDigest string `json:"export_digest"`
+	// Deterministic reports whether the workers=1 and workers=4 runs of
+	// this point produced identical output and export digests.
+	Deterministic bool `json:"deterministic"`
+	// OutputsMatchBaseline reports whether this point's job outputs are
+	// byte-identical to the cache-off baseline's (the tier must never
+	// change what jobs compute).
+	OutputsMatchBaseline bool `json:"outputs_match_baseline"`
+}
+
+// CacheMT is the multi-tenant arm: the mt trace replayed with the tier
+// attached to the scidpd service cluster, against the tier-off replay.
+type CacheMT struct {
+	HorizonSeconds float64 `json:"horizon_seconds"`
+	CapacityBytes  int64   `json:"capacity_bytes"`
+	Policy         string  `json:"policy"`
+	Completed      int     `json:"completed"`
+	// HitRate is the tier hit rate across all tenants' reads — the
+	// repeated-catalog workload's cross-job reuse.
+	HitRate    float64 `json:"hit_rate"`
+	LocalHits  int64   `json:"local_hits"`
+	PeerHits   int64   `json:"peer_hits"`
+	OSTReads   int64   `json:"ost_reads"`
+	Promotions int64   `json:"promotions"`
+	// P99 / goodput with the tier on, and the tier-off baseline's.
+	P99Seconds       float64 `json:"p99_seconds"`
+	P99SecondsOff    float64 `json:"p99_seconds_off"`
+	GoodputJobsPerKs float64 `json:"goodput_jobs_per_ks"`
+	GoodputOff       float64 `json:"goodput_jobs_per_ks_off"`
+	// Deterministic reports whether the same-seed tiered repeat
+	// reproduced both the completion and export digests.
+	Deterministic bool `json:"deterministic"`
+}
+
+// CacheResult is the machine-readable cache artifact (BENCH_cache.json).
+type CacheResult struct {
+	Solution   string     `json:"solution"`
+	Timestamps int        `json:"timestamps"`
+	Runs       []CacheRun `json:"runs"`
+	MT         *CacheMT   `json:"mt"`
+}
+
+// BestSpeedup is the -cache-floor guard's measurement: the largest JCT
+// speedup any tiered point achieved over the cache-off baseline, on
+// either the pair makespan or the trailing (beneficiary) job's own JCT.
+func (r *CacheResult) BestSpeedup() float64 {
+	best := 0.0
+	for _, run := range r.Runs {
+		if run.Policy == "off" {
+			continue
+		}
+		if run.SpeedupVsOff > best {
+			best = run.SpeedupVsOff
+		}
+		if run.TailSpeedupVsOff > best {
+			best = run.TailSpeedupVsOff
+		}
+	}
+	return best
+}
+
+// cacheOutcome is one execution's raw measurements.
+type cacheOutcome struct {
+	jct          float64 // makespan of the overlapping pair
+	tailJCT      float64 // the trailing job's own start-to-finish time
+	outputDigest string
+	exportDigest string
+	stats        ioengine.TierStats
+}
+
+// cacheOneRun executes two overlapping SciDP jobs ("cache-a" and
+// "cache-b", namespaced mirrors and results in one env) over the same
+// dataset with the given tier configuration, audits both output trees,
+// and snapshots the tier counters. The zero TierConfig is the cache-off
+// baseline.
+func cacheOneRun(s Scale, timestamps, workers int, tier ioengine.TierConfig) (*cacheOutcome, error) {
+	blobs, ds, err := dataset(s, timestamps)
+	if err != nil {
+		return nil, err
+	}
+	// One fixed process label for every point: exports must be
+	// byte-identical across worker counts, so neither the worker count
+	// nor the tier parameters may appear in exported strings.
+	reg := obs.New()
+	reg.SetProcess("cache-sweep")
+	cfg := s.EnvConfig(4)
+	// The paper's 8 slots per node: with 32 concurrent tasks the shared
+	// interlink and OST queues are the bottleneck, which is the regime a
+	// read cache exists for (2 slots/node is compute-bound and would
+	// hide any I/O win).
+	cfg.SlotsPerNode = 8
+	// Read-intensive analysis mix: light rendering instead of the full
+	// visualization pipeline, so read + decode is a first-order share of
+	// each task. Under the paper's plot-dominated cost model the tier's
+	// savings vanish into slot idle time inside compute-bound waves —
+	// measured and reported in EXPERIMENTS.md; the byte traffic and hit
+	// rates are identical either way.
+	cfg.Cost.PlotPerLevel = 0.05
+	cfg.Cost.PlotPerLevelSeq = 0.05
+	cfg.Obs = reg
+	cfg.Workers = workers
+	cfg.CacheTier = tier
+	env := solutions.NewEnv(cfg)
+	defer env.Close()
+	workloads.Install(env.PFS, blobs)
+	// Two distinct consumers of one dataset: job A renders the full
+	// timestamp range, job B re-analyzes the tail window with highlight
+	// analysis — the classic shared-input scenario the tier exists for.
+	// B starts staggered (jobs launched at the same instant proceed in
+	// deterministic lockstep and reach every chunk before the other has
+	// admitted it), and its four-file offset shifts its task-to-slot
+	// phase against A's by half a node, so B's reads land both on nodes
+	// that decoded the chunk for A (local hits) and on nodes that did
+	// not (peer fetches from the holder).
+	tail := *ds
+	if off := 4; len(ds.Files) > off {
+		tail.Files = ds.Files[off:]
+		tail.Spec.Timestamps = len(tail.Files)
+	}
+	jobs := []struct {
+		name  string
+		wl    *solutions.Workload
+		delay float64
+	}{
+		{"cache-a", &solutions.Workload{Dataset: ds, Var: "QR", Analysis: solutions.AnalysisNone}, 0},
+		{"cache-b", &solutions.Workload{Dataset: &tail, Var: "QR", Analysis: solutions.AnalysisHighlight}, 5},
+	}
+	out := &cacheOutcome{}
+	var runErr error
+	wg := env.K.NewWaitGroup()
+	wg.Add(len(jobs))
+	for i, job := range jobs {
+		i, job := i, job
+		env.K.Go(job.name, func(p *sim.Proc) {
+			defer wg.Done()
+			p.Sleep(job.delay)
+			start := p.Now()
+			if _, err := solutions.RunSciDPWith(p, env, job.wl, solutions.SciDPOptions{Name: job.name}); err != nil && runErr == nil {
+				runErr = fmt.Errorf("%s: %w", job.name, err)
+			}
+			if i == 1 {
+				out.tailJCT = p.Now() - start
+			}
+		})
+	}
+	env.K.Go("auditor", func(p *sim.Proc) {
+		p.Wait(wg)
+		out.jct = p.Now() // makespan of the overlapping pair
+		if runErr != nil {
+			return
+		}
+		out.outputDigest, _, runErr = auditDigest(p, env, "/results/cache-a", "/results/cache-b")
+	})
+	env.K.Run()
+	env.ExportSimMetrics()
+	if runErr != nil {
+		return nil, runErr
+	}
+	out.stats = env.Tier.Stats() // nil-safe zero for the baseline
+	if out.exportDigest, err = exportDigest(reg); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// cachePoint runs one sweep point at workers=1 and workers=4 and folds
+// the pair into a CacheRun (the worker-count invariance is the tier's
+// determinism contract, checked at every point).
+func cachePoint(s Scale, timestamps int, tier ioengine.TierConfig, policy string) (CacheRun, error) {
+	one, err := cacheOneRun(s, timestamps, 1, tier)
+	if err != nil {
+		return CacheRun{}, err
+	}
+	four, err := cacheOneRun(s, timestamps, 4, tier)
+	if err != nil {
+		return CacheRun{}, err
+	}
+	st := one.stats
+	return CacheRun{
+		CapacityBytes:  tier.NodeBytes,
+		Policy:         policy,
+		JCTSeconds:     one.jct,
+		TailJCTSeconds: one.tailJCT,
+		LocalHits:      st.LocalHits, PeerHits: st.PeerHits, OSTReads: st.OSTReads,
+		LocalBytes: st.LocalBytes, PeerBytes: st.PeerBytes, OSTBytes: st.OSTBytes,
+		Evictions: st.Evictions, Promotions: st.Promotions,
+		CrossJobHitRate: st.HitRate(),
+		OutputDigest:    one.outputDigest,
+		ExportDigest:    one.exportDigest,
+		Deterministic: one.outputDigest == four.outputDigest &&
+			one.exportDigest == four.exportDigest && one.exportDigest != "",
+	}, nil
+}
+
+// cacheCapacities derives the capacity sweep from the decoded working
+// set: one job's decoded bytes are timestamps x levels x lat x lon x 4
+// (one float32 grid of the selected variable per timestamp). Chunks
+// spread across the 4 nodes, so each node sees ~1/4 of the working set;
+// the small tier (1/16 per node) forces eviction churn, the large tier
+// (2x per node) lets everything stay resident.
+func cacheCapacities(s Scale, timestamps int) (small, large int64) {
+	ws := int64(timestamps) * int64(s.Levels*s.Lat*s.Lon) * 4
+	small = ws / 16
+	if small < 1<<10 {
+		small = 1 << 10
+	}
+	return small, 2 * ws
+}
+
+// RunCache sweeps the cooperative cache tier across capacity x policy
+// under two overlapping SciDP jobs, then replays the multi-tenant trace
+// with the tier attached (BENCH_cache.json).
+func RunCache(s Scale, timestamps int, horizon float64) (*Table, *CacheResult, error) {
+	res := &CacheResult{Solution: "scidp", Timestamps: timestamps}
+
+	base, err := cachePoint(s, timestamps, ioengine.TierConfig{}, "off")
+	if err != nil {
+		return nil, nil, fmt.Errorf("cache baseline: %w", err)
+	}
+	base.SpeedupVsOff = 1
+	base.TailSpeedupVsOff = 1
+	base.OutputsMatchBaseline = true
+	res.Runs = append(res.Runs, base)
+
+	small, large := cacheCapacities(s, timestamps)
+	for _, capBytes := range []int64{small, large} {
+		for _, policy := range []string{ioengine.PolicyLRU, ioengine.PolicyCost} {
+			// Default promotion threshold: with two consumers per chunk
+			// only truly hot blocks replicate. A threshold of 2 promotes
+			// every shared block — a replication storm whose network cost
+			// drowns the hits it is supposed to amplify (measured: ~220
+			// promotions cost more fabric time than all peer hits save).
+			run, err := cachePoint(s, timestamps,
+				ioengine.TierConfig{NodeBytes: capBytes, Policy: policy}, policy)
+			if err != nil {
+				return nil, nil, fmt.Errorf("cache %s/%d: %w", policy, capBytes, err)
+			}
+			if run.JCTSeconds > 0 {
+				run.SpeedupVsOff = base.JCTSeconds / run.JCTSeconds
+			}
+			if run.TailJCTSeconds > 0 {
+				run.TailSpeedupVsOff = base.TailJCTSeconds / run.TailJCTSeconds
+			}
+			run.OutputsMatchBaseline = run.OutputDigest == base.OutputDigest
+			res.Runs = append(res.Runs, run)
+		}
+	}
+
+	// The multi-tenant arm: the repeated-catalog trace gives genuine
+	// cross-job reuse (every job reads a prefix of the shared input
+	// pool), so the tier's hit rate here is the service-level benefit.
+	// 2 MiB per node across 6 nodes comfortably spans the 3 MiB pool.
+	mtTier := ioengine.TierConfig{NodeBytes: 2 << 20, Policy: ioengine.PolicyCost}
+	tr, err := loadgen.Generate(loadgen.TraceSpec{
+		Name: "cache-mt", Seed: MTSeed, Horizon: horizon, Classes: mtClasses(1.0),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	offSum, _, err := mtReplayTier(tr, false, ioengine.TierConfig{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("cache mt off: %w", err)
+	}
+	onSum, onStats, err := mtReplayTier(tr, false, mtTier)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cache mt on: %w", err)
+	}
+	repSum, _, err := mtReplayTier(tr, false, mtTier)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cache mt repeat: %w", err)
+	}
+	res.MT = &CacheMT{
+		HorizonSeconds: horizon,
+		CapacityBytes:  mtTier.NodeBytes,
+		Policy:         mtTier.Policy,
+		Completed:      onSum.Completed,
+		HitRate:        onStats.HitRate(),
+		LocalHits:      onStats.LocalHits,
+		PeerHits:       onStats.PeerHits,
+		OSTReads:       onStats.OSTReads,
+		Promotions:     onStats.Promotions,
+		P99Seconds:     onSum.P99Seconds, P99SecondsOff: offSum.P99Seconds,
+		GoodputJobsPerKs: onSum.GoodputJobsPerKs, GoodputOff: offSum.GoodputJobsPerKs,
+		Deterministic: onSum.CompletionDigest == repSum.CompletionDigest &&
+			onSum.ExportDigest == repSum.ExportDigest && onSum.ExportDigest != "",
+	}
+
+	t := &Table{
+		ID:    "Cache",
+		Title: "tiered cooperative cache: capacity x policy under two overlapping SciDP jobs",
+		Header: []string{"capacity", "policy", "JCT (s)", "speedup", "tail JCT (s)", "tail speedup", "hit rate",
+			"local/peer/OST", "evict", "promote", "matches off", "deterministic"},
+	}
+	for _, run := range res.Runs {
+		capLabel := "-"
+		if run.CapacityBytes > 0 {
+			capLabel = fmt.Sprintf("%dKiB", run.CapacityBytes>>10)
+		}
+		t.AddRow(capLabel, run.Policy, secs(run.JCTSeconds), ratio(run.SpeedupVsOff),
+			secs(run.TailJCTSeconds), ratio(run.TailSpeedupVsOff),
+			fmt.Sprintf("%.2f", run.CrossJobHitRate),
+			fmt.Sprintf("%d/%d/%d", run.LocalHits, run.PeerHits, run.OSTReads),
+			fmt.Sprintf("%d", run.Evictions), fmt.Sprintf("%d", run.Promotions),
+			fmt.Sprintf("%v", run.OutputsMatchBaseline),
+			fmt.Sprintf("%v", run.Deterministic))
+	}
+	t.Notes = append(t.Notes,
+		"capacities are per node: small = 1/16 of one job's decoded working set (eviction churn — LRU degrades under the sequential scan, cost-aware retains hits), large = 2x (fully resident); every point runs at workers=1 and workers=4 and must produce identical bytes",
+		fmt.Sprintf("mt arm (horizon %.0fs, %s policy, %d KiB/node): hit rate %.2f (local/peer/OST %d/%d/%d, %d promotions), p99 %.1fs vs %.1fs off, goodput %.0f vs %.0f jobs/ks, deterministic %v",
+			horizon, res.MT.Policy, res.MT.CapacityBytes>>10, res.MT.HitRate,
+			res.MT.LocalHits, res.MT.PeerHits, res.MT.OSTReads, res.MT.Promotions,
+			res.MT.P99Seconds, res.MT.P99SecondsOff,
+			res.MT.GoodputJobsPerKs, res.MT.GoodputOff, res.MT.Deterministic))
+	return t, res, nil
+}

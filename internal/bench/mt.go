@@ -11,6 +11,7 @@ package bench
 import (
 	"fmt"
 
+	"scidp/internal/ioengine"
 	"scidp/internal/obs"
 	"scidp/internal/solutions"
 	"scidp/internal/tenant"
@@ -91,13 +92,21 @@ func (r *MTResult) MinSpeedup() float64 { return r.BackfillP99Speedup }
 // mtReplay runs one trace through a fresh service, returning the
 // summary with the export digest filled in.
 func mtReplay(tr *tenant.Trace, fifo bool) (*tenant.Summary, error) {
+	sum, _, err := mtReplayTier(tr, fifo, ioengine.TierConfig{})
+	return sum, err
+}
+
+// mtReplayTier is mtReplay with a cooperative cache tier attached to
+// the service cluster (zero config = detached); it additionally
+// returns the tier's counters — the cache experiment's mt arm.
+func mtReplayTier(tr *tenant.Trace, fifo bool, tierCfg ioengine.TierConfig) (*tenant.Summary, ioengine.TierStats, error) {
 	// A private registry per run: the same-seed repeat must hash a
 	// single run's exports, and the process label must not vary.
 	reg := obs.New()
 	reg.SetProcess("scidpd")
 	env := solutions.NewEnv(solutions.EnvConfig{
 		Nodes: MTNodes, SlotsPerNode: MTSlotsPerNode, ByteScale: 1,
-		Obs: reg, Workers: 1,
+		Obs: reg, Workers: 1, CacheTier: tierCfg,
 	})
 	defer env.Close()
 	// MaxConcurrent 3 on 12 slots: the job window, not the slot pool,
@@ -107,10 +116,10 @@ func mtReplay(tr *tenant.Trace, fifo bool) (*tenant.Summary, error) {
 	svc := tenant.New(env, tenant.Config{FIFO: fifo, MaxConcurrent: 3})
 	sum, err := tenant.Replay(svc, tr)
 	if err != nil {
-		return nil, err
+		return nil, ioengine.TierStats{}, err
 	}
 	sum.ExportDigest = tenant.RegistryDigest(reg)
-	return sum, nil
+	return sum, env.Tier.Stats(), nil
 }
 
 func mtClassP99(sum *tenant.Summary, class string) float64 {

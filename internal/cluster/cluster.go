@@ -27,6 +27,9 @@ type Node struct {
 	// Slots bounds concurrently running tasks on the node (YARN
 	// containers, MPI ranks). Nil for storage-only nodes.
 	Slots *sim.Semaphore
+	// BurstBufferBytes is the node-local burst-buffer capacity the
+	// cooperative cache tier may occupy (0 = no buffer provisioned).
+	BurstBufferBytes int64
 }
 
 // Place locates a host in the topology hierarchy.
@@ -47,6 +50,11 @@ type Cluster struct {
 	Fabric *sim.Resource
 
 	places map[string]Place
+	// rackSw/zoneSw are the per-rack and per-zone switch resources peer
+	// transfers traverse instead of the top fabric when both endpoints
+	// share the domain (empty on flat clusters).
+	rackSw map[string]*sim.Resource
+	zoneSw map[string]*sim.Resource
 }
 
 // Config carries the hardware constants for building a cluster. The zero
@@ -75,6 +83,13 @@ type Config struct {
 	// consecutive racks into zones ("<name>-zone-<i>") — the third
 	// locality tier for O(100k)-node sweeps.
 	RacksPerZone int
+	// RackBW and ZoneBW size the per-rack and per-zone switches peer
+	// transfers cross (zero picks half the aggregate bandwidth below:
+	// NICBW*NodesPerRack/2 per rack, RackBW*RacksPerZone/2 per zone).
+	RackBW, ZoneBW float64
+	// BurstBufferBytes provisions each node's burst buffer for the
+	// cooperative cache tier (0 = none).
+	BurstBufferBytes int64
 }
 
 // DefaultHardware mirrors the paper's Chameleon testbed: 250 GB 7200 RPM
@@ -115,14 +130,34 @@ func New(k *sim.Kernel, name string, c Config) *Cluster {
 		Name:   name,
 		Fabric: sim.NewResource(name+"/fabric", c.FabricBW),
 		places: map[string]Place{},
+		rackSw: map[string]*sim.Resource{},
+		zoneSw: map[string]*sim.Resource{},
+	}
+	rackBW := c.RackBW
+	if rackBW <= 0 && c.NodesPerRack > 0 {
+		rackBW = c.NICBW * float64(c.NodesPerRack) / 2
+	}
+	zoneBW := c.ZoneBW
+	if zoneBW <= 0 && c.RacksPerZone > 0 {
+		zoneBW = rackBW * float64(c.RacksPerZone) / 2
 	}
 	for i := 0; i < c.Nodes; i++ {
-		n := &Node{Name: fmt.Sprintf("%s-%d", name, i)}
+		n := &Node{Name: fmt.Sprintf("%s-%d", name, i), BurstBufferBytes: c.BurstBufferBytes}
 		if c.NodesPerRack > 0 {
 			rack := i / c.NodesPerRack
 			n.Rack = fmt.Sprintf("%s-rack-%d", name, rack)
+			if _, ok := cl.rackSw[n.Rack]; !ok {
+				sw := sim.NewResource(n.Rack+"/switch", rackBW)
+				sw.Latency = c.NetLatency
+				cl.rackSw[n.Rack] = sw
+			}
 			if c.RacksPerZone > 0 {
 				n.Zone = fmt.Sprintf("%s-zone-%d", name, rack/c.RacksPerZone)
+				if _, ok := cl.zoneSw[n.Zone]; !ok {
+					sw := sim.NewResource(n.Zone+"/switch", zoneBW)
+					sw.Latency = c.NetLatency
+					cl.zoneSw[n.Zone] = sw
+				}
 			}
 		}
 		n.Disk = sim.NewResource(n.Name+"/disk", c.DiskBW)
@@ -177,6 +212,54 @@ func (c *Cluster) RemoteReadPath(src, dst *Node) []*sim.Resource {
 // of this cluster (no disk on either end).
 func (c *Cluster) NetPath(src, dst *Node) []*sim.Resource {
 	return []*sim.Resource{src.NIC, c.Fabric, dst.NIC}
+}
+
+// PeerPath is the locality-aware chain for a memory-to-memory peer
+// transfer: rack-local traffic crosses only the rack switch, zone-local
+// traffic climbs through both rack switches and the zone switch, and
+// cross-zone traffic takes the top fabric between the rack switches.
+// Flat clusters fall back to NetPath; src == dst transfers nothing.
+func (c *Cluster) PeerPath(src, dst *Node) []*sim.Resource {
+	if src == dst {
+		return nil
+	}
+	if src.Rack == "" || dst.Rack == "" {
+		return c.NetPath(src, dst)
+	}
+	if src.Rack == dst.Rack {
+		return []*sim.Resource{src.NIC, c.rackSw[src.Rack], dst.NIC}
+	}
+	if src.Zone != "" && src.Zone == dst.Zone {
+		return []*sim.Resource{src.NIC, c.rackSw[src.Rack], c.zoneSw[src.Zone], c.rackSw[dst.Rack], dst.NIC}
+	}
+	return []*sim.Resource{src.NIC, c.rackSw[src.Rack], c.Fabric, c.rackSw[dst.Rack], dst.NIC}
+}
+
+// PeerPathByName resolves node names and returns their PeerPath (nil
+// when either name is unknown — the transfer is then free). Together
+// with Distance this satisfies ioengine.TierTopology.
+func (c *Cluster) PeerPathByName(src, dst string) []*sim.Resource {
+	s, d := c.Lookup(src), c.Lookup(dst)
+	if s == nil || d == nil {
+		return nil
+	}
+	return c.PeerPath(s, d)
+}
+
+// Distance ranks the locality of two hosts: 0 same host, 1 same rack,
+// 2 same zone, 3 beyond (which includes every pair on a flat cluster).
+func (c *Cluster) Distance(src, dst string) int {
+	if src == dst {
+		return 0
+	}
+	a, b := c.places[src], c.places[dst]
+	if a.Rack != "" && a.Rack == b.Rack {
+		return 1
+	}
+	if a.Zone != "" && a.Zone == b.Zone {
+		return 2
+	}
+	return 3
 }
 
 // Interlink joins two clusters with a shared cross-cluster link of the

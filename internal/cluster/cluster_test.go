@@ -67,6 +67,81 @@ func TestTopologyPlacement(t *testing.T) {
 	}
 }
 
+func TestPeerPathAndDistance(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultHardware(12, 2)
+	cfg.NodesPerRack = 3
+	cfg.RacksPerZone = 2
+	cfg.BurstBufferBytes = 1 << 20
+	cl := New(k, "bd", cfg)
+	for _, n := range cl.Nodes {
+		if n.BurstBufferBytes != 1<<20 {
+			t.Fatalf("node %s burst buffer = %d, want %d", n.Name, n.BurstBufferBytes, 1<<20)
+		}
+	}
+	// bd-0/bd-2 share rack-0; bd-0/bd-3 share zone-0 across racks;
+	// bd-0/bd-6 are in different zones.
+	wants := []struct {
+		src, dst string
+		dist     int
+		hops     int
+	}{
+		{"bd-0", "bd-0", 0, 0},
+		{"bd-0", "bd-2", 1, 3}, // NIC, rack switch, NIC
+		{"bd-0", "bd-3", 2, 5}, // NIC, rack, zone, rack, NIC
+		{"bd-0", "bd-6", 3, 5}, // NIC, rack, fabric, rack, NIC
+	}
+	for _, w := range wants {
+		if d := cl.Distance(w.src, w.dst); d != w.dist {
+			t.Errorf("Distance(%s,%s) = %d, want %d", w.src, w.dst, d, w.dist)
+		}
+		path := cl.PeerPathByName(w.src, w.dst)
+		if len(path) != w.hops {
+			t.Errorf("PeerPath(%s,%s) has %d hops, want %d", w.src, w.dst, len(path), w.hops)
+		}
+		for i, r := range path {
+			if r == nil {
+				t.Errorf("PeerPath(%s,%s) hop %d is nil", w.src, w.dst, i)
+			}
+		}
+	}
+	// Rack-local traffic must not cross the top fabric.
+	for _, r := range cl.PeerPathByName("bd-0", "bd-2") {
+		if r == cl.Fabric {
+			t.Error("rack-local peer path must not use the fabric")
+		}
+	}
+	// Cross-zone traffic must.
+	cross := cl.PeerPathByName("bd-0", "bd-6")
+	found := false
+	for _, r := range cross {
+		if r == cl.Fabric {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cross-zone peer path must use the fabric")
+	}
+	if cl.PeerPathByName("bd-0", "nope") != nil {
+		t.Error("unknown node must yield a nil peer path")
+	}
+}
+
+func TestPeerPathFlatFallsBackToNetPath(t *testing.T) {
+	k := sim.NewKernel()
+	cl := New(k, "bd", DefaultHardware(4, 2))
+	got := cl.PeerPath(cl.Node(0), cl.Node(1))
+	want := cl.NetPath(cl.Node(0), cl.Node(1))
+	if len(got) != len(want) {
+		t.Fatalf("flat peer path %d hops, want NetPath's %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("flat peer path hop %d differs from NetPath", i)
+		}
+	}
+}
+
 func TestStorageOnlyNodesHaveNoSlots(t *testing.T) {
 	k := sim.NewKernel()
 	cfg := DefaultHardware(3, 0)

@@ -53,6 +53,9 @@ type InputFormat struct {
 	// Leave nil to have ForEach create one lazily; set it to share (or
 	// inspect) the caches across jobs.
 	Caches *ioengine.CacheSet
+	// Tier, when non-nil, is the cluster-wide cooperative cache every
+	// task's reader consults between the job cache and the PFS.
+	Tier *ioengine.Tier
 	// Obs, when non-nil, is handed to each task's PFS Reader so block
 	// reads produce spans and I/O-engine counters.
 	Obs *obs.Registry
@@ -112,6 +115,8 @@ func (in *InputFormat) ForEach(tc *mapreduce.TaskContext, s *mapreduce.Split, fn
 		}
 		reader.Cache = in.Caches.For(tc.Node().Name)
 	}
+	reader.Tier = in.Tier
+	reader.Node = tc.Node().Name
 	reader.Prefetch = in.Engine.Prefetch
 	reader.Obs = in.Obs
 	reader.Retry = in.Retry

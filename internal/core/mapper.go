@@ -61,6 +61,10 @@ type MapOptions struct {
 	// (zero: the HDFS block size, 128 MB in the paper). Negative values
 	// are rejected.
 	FlatBlockSize int64
+	// Paths restricts MapPath to the named source files (nil maps every
+	// file under the directory) — for jobs that consume a window of a
+	// dataset rather than the whole of it.
+	Paths []string
 }
 
 // MappedVar records one variable's virtual file.
@@ -141,7 +145,17 @@ func (m *Mapper) MapPath(p *sim.Proc, client *pfs.Client, pfsDir string, opts Ma
 	}
 	root := path.Join(m.MirrorRoot, strings.Trim(pfsDir, "/"))
 	mapping := &Mapping{Root: root}
+	var want map[string]bool
+	if opts.Paths != nil {
+		want = make(map[string]bool, len(opts.Paths))
+		for _, pth := range opts.Paths {
+			want[pth] = true
+		}
+	}
 	for _, fc := range files {
+		if want != nil && !want[fc.Path] {
+			continue
+		}
 		mf, err := m.mapOne(p, fc, root, opts)
 		if err != nil {
 			return nil, err

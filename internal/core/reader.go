@@ -39,6 +39,11 @@ type PFSReader struct {
 	Client *pfs.Client
 	// Cache, when non-nil, serves decompressed chunks across slab reads.
 	Cache *ioengine.Cache
+	// Tier, when non-nil, is the cluster-wide cooperative cache chunk
+	// reads consult after the per-job cache; Node names the burst buffer
+	// local to the task (the node the task was scheduled on).
+	Tier *ioengine.Tier
+	Node string
 	// Prefetch is the readahead depth for announced chunk plans (0 off).
 	Prefetch int
 	// Obs, when non-nil, wraps each block read in a span and feeds the
@@ -190,7 +195,8 @@ func (r *PFSReader) ReadSlab(p *sim.Proc, src *SlabSource) (*Slab, error) {
 	if r.Retry.MaxRetries > 0 {
 		eng = &retryEngine{r: r, path: src.PFSPath, size: eng.Size()}
 	}
-	reader := ioengine.Bind(p, eng, ioengine.Options{Cache: r.Cache, Prefetch: r.Prefetch, Obs: r.Obs})
+	reader := ioengine.Bind(p, eng, ioengine.Options{Cache: r.Cache, Prefetch: r.Prefetch,
+		Obs: r.Obs, Tier: r.Tier, TierNode: r.Node})
 	raw, err := format.ReadSlab(reader, src.VarPath, src.Start, src.Count)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s/%s: %w", src.PFSPath, src.VarPath, err)

@@ -218,6 +218,12 @@ type Options struct {
 	// (ioengine/chunk_reads_total{result=hit|miss},
 	// ioengine/prefetch_issued_total, ioengine/prefetch_hits_total).
 	Obs *obs.Registry
+	// Tier is the cluster-wide cooperative cache chunk reads consult
+	// between the per-job cache and the engine; nil disables it.
+	Tier *Tier
+	// TierNode names the node the bound process runs on — the burst
+	// buffer Tier lookups are local to.
+	TierNode string
 }
 
 // Bound couples a process to an engine reader and implements Source (plus
@@ -227,6 +233,8 @@ type Bound struct {
 	r        ReaderAt
 	name     string
 	cache    *Cache
+	tier     *Tier
+	tnode    string
 	prefetch int
 	plan     []Range
 	next     int // plan index of the first not-yet-consumed chunk
@@ -245,7 +253,8 @@ type Bound struct {
 // announced chunks are read ahead on background processes spawned from
 // p's kernel.
 func Bind(p *sim.Proc, r ReaderAt, opts Options) *Bound {
-	b := &Bound{p: p, r: r, name: opts.Name, cache: opts.Cache, prefetch: opts.Prefetch}
+	b := &Bound{p: p, r: r, name: opts.Name, cache: opts.Cache,
+		tier: opts.Tier, tnode: opts.TierNode, prefetch: opts.Prefetch}
 	if b.name == "" {
 		if nr, ok := r.(interface{ Name() string }); ok {
 			b.name = nr.Name()
@@ -302,6 +311,17 @@ func (b *Bound) ReadChunk(off, stored int64, decode func(raw []byte) ([]byte, er
 			return v, nil
 		}
 	}
+	// The cooperative tier sits between the per-job cache and the
+	// engine: a local buffer hit is free (decoded bytes already on this
+	// node), a peer hit charges the intra-rack/zone transfer inside
+	// Tier.Read, and only a full tier miss falls through to the OSTs.
+	if b.tier != nil {
+		if v, ok := b.tier.Read(b.p, b.tnode, dkey); ok {
+			b.chunkHits.Inc()
+			b.startPrefetch()
+			return v, nil
+		}
+	}
 	b.chunkMisses.Inc()
 	raw, err := b.fetchRaw(off, stored)
 	if err != nil {
@@ -320,6 +340,10 @@ func (b *Bound) ReadChunk(off, stored int64, decode func(raw []byte) ([]byte, er
 	if b.cache != nil {
 		b.cache.Put(dkey, out)
 	}
+	if b.tier != nil {
+		b.tier.MissOST(stored)
+		b.tier.Admit(b.p, b.tnode, dkey, out, stored)
+	}
 	b.startPrefetch()
 	return out, nil
 }
@@ -334,6 +358,16 @@ func (b *Bound) ReadChunkOnce(off, stored int64, decode func(raw []byte) ([]byte
 	b.advance(off)
 	if b.cache != nil {
 		if v, ok := b.cache.peek(b.key('d', off, stored)); ok {
+			b.chunkHits.Inc()
+			b.startPrefetch()
+			return v, nil
+		}
+	}
+	// One-shot scans may be served by a chunk already resident in this
+	// node's burst buffer, but never admit, promote, or pull from peers
+	// — the no-pollution contract extends to the cluster tier.
+	if b.tier != nil {
+		if v, ok := b.tier.PeekLocal(b.tnode, b.key('d', off, stored)); ok {
 			b.chunkHits.Inc()
 			b.startPrefetch()
 			return v, nil

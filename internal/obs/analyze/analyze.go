@@ -194,11 +194,40 @@ type ResourceUse struct {
 	QueueDepthMax float64 `json:"queue_depth_max,omitempty"`
 }
 
+// CacheTierLevel is one cache-tier level's share of tier-arbitrated
+// reads, joined from the ioengine/tier_* and cache_hit_ratio series.
+type CacheTierLevel struct {
+	// Level is "local", "peer", or "ost".
+	Level string  `json:"level"`
+	Reads float64 `json:"reads"`
+	Bytes float64 `json:"bytes"`
+	// HitRatio is this level's share of all tier-arbitrated reads (the
+	// three levels sum to 1).
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// CacheTierReport summarizes the cooperative burst-buffer tier: where
+// reads were served (node-local buffer, a peer's buffer over the
+// network, or the OST fallback) plus the admission/eviction/promotion
+// churn and resident footprint at export time.
+type CacheTierReport struct {
+	// Levels holds local, peer, ost in that fixed order.
+	Levels          []CacheTierLevel `json:"levels"`
+	Admits          float64          `json:"admits"`
+	Evictions       float64          `json:"evictions"`
+	Promotions      float64          `json:"promotions"`
+	ResidentBytes   float64          `json:"resident_bytes"`
+	ResidentEntries float64          `json:"resident_entries"`
+}
+
 // Report is the full analysis of one registry.
 type Report struct {
 	Jobs []JobReport `json:"jobs"`
 	// Resources ranks every simulated resource by busy time, descending.
 	Resources []ResourceUse `json:"resources"`
+	// CacheTier summarizes the ioengine cooperative cache when a tier
+	// was attached and served at least one read; nil otherwise.
+	CacheTier *CacheTierReport `json:"cache_tier,omitempty"`
 	// SpansDropped echoes the registry's span-buffer overflow count; a
 	// nonzero value means the analysis below is partial.
 	SpansDropped int `json:"spans_dropped,omitempty"`
@@ -247,7 +276,9 @@ func Analyze(r *obs.Registry) *Report {
 			rep.Jobs = append(rep.Jobs, analyzeJob(n))
 		}
 	}
-	rep.Resources = resourceTable(r, nodes)
+	snap := r.Snapshot()
+	rep.Resources = resourceTable(snap, nodes)
+	rep.CacheTier = cacheTierTable(snap)
 	return rep
 }
 
@@ -721,7 +752,7 @@ func classify(n *node, task *taskCtx) string {
 // sim.Tracer.ExportResourceMetrics) and falls back to re-deriving the
 // same figures from flow spans when the counters are absent. OST queue
 // depth peaks join in from the pfs gauge timelines.
-func resourceTable(r *obs.Registry, nodes []*node) []ResourceUse {
+func resourceTable(snap []obs.SeriesInfo, nodes []*node) []ResourceUse {
 	byName := map[string]*ResourceUse{}
 	get := func(name string) *ResourceUse {
 		u := byName[name]
@@ -733,7 +764,6 @@ func resourceTable(r *obs.Registry, nodes []*node) []ResourceUse {
 	}
 
 	fromCounters := false
-	snap := r.Snapshot()
 	for i := range snap {
 		s := &snap[i]
 		res := s.Label("res")
@@ -802,4 +832,60 @@ func resourceTable(r *obs.Registry, nodes []*node) []ResourceUse {
 		return strings.Compare(a.Name, b.Name)
 	})
 	return out
+}
+
+// ---- Cache-tier table.
+
+// cacheTierTable joins the ioengine/tier_* counters and the derived
+// cache_hit_ratio gauges into a per-level summary. Returns nil when no
+// tier was registered or the tier never arbitrated a read — a report
+// without a cache section means the cache played no part in the run.
+func cacheTierTable(snap []obs.SeriesInfo) *CacheTierReport {
+	byLevel := map[string]*CacheTierLevel{}
+	ct := &CacheTierReport{}
+	seen := false
+	for _, s := range snap {
+		level := func() *CacheTierLevel {
+			l := s.Label("level")
+			e := byLevel[l]
+			if e == nil {
+				e = &CacheTierLevel{Level: l}
+				byLevel[l] = e
+			}
+			return e
+		}
+		switch s.Name {
+		case "ioengine/tier_reads_total":
+			level().Reads = s.Value
+			seen = true
+		case "ioengine/tier_bytes_total":
+			level().Bytes = s.Value
+		case "ioengine/cache_hit_ratio":
+			level().HitRatio = s.Value
+		case "ioengine/tier_admits_total":
+			ct.Admits = s.Value
+		case "ioengine/tier_evictions_total":
+			ct.Evictions = s.Value
+		case "ioengine/tier_promotions_total":
+			ct.Promotions = s.Value
+		case "ioengine/tier_resident_bytes":
+			ct.ResidentBytes = s.Value
+		case "ioengine/tier_resident_entries":
+			ct.ResidentEntries = s.Value
+		}
+	}
+	total := 0.0
+	for _, e := range byLevel {
+		total += e.Reads
+	}
+	if !seen || total == 0 {
+		return nil
+	}
+	// Fixed order so the JSON is byte-stable regardless of map walks.
+	for _, l := range []string{"local", "peer", "ost"} {
+		if e := byLevel[l]; e != nil {
+			ct.Levels = append(ct.Levels, *e)
+		}
+	}
+	return ct
 }

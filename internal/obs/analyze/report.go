@@ -39,6 +39,17 @@ func (rep *Report) WriteText(w io.Writer) error {
 				u.Name, u.BusySeconds, u.Bytes, u.Flows, u.PeakFlows, u.QueueDepthMax)
 		}
 	}
+
+	if ct := rep.CacheTier; ct != nil {
+		p("\ncache tier (reads by serving level):\n")
+		p("  %-6s %10s %14s %8s\n", "level", "reads", "bytes", "ratio")
+		for i := range ct.Levels {
+			l := &ct.Levels[i]
+			p("  %-6s %10.0f %14.0f %7.1f%%\n", l.Level, l.Reads, l.Bytes, l.HitRatio*100)
+		}
+		p("  admits %.0f, evictions %.0f, promotions %.0f, resident %.0f B in %.0f entries\n",
+			ct.Admits, ct.Evictions, ct.Promotions, ct.ResidentBytes, ct.ResidentEntries)
+	}
 	return tw.err
 }
 

@@ -98,6 +98,12 @@ type ost struct {
 	// are returned as missing ranges for the reader to read around.
 	down bool
 
+	// depth tracks in-flight striped transfers touching this target. It
+	// is maintained unconditionally (unlike the obs gauge below, which
+	// exists only when a registry is attached) so congestion-sensitive
+	// policies see the same signal with and without observability.
+	depth int
+
 	readBytes  *obs.Counter
 	writeBytes *obs.Counter
 	requests   *obs.Counter
@@ -370,8 +376,9 @@ func (fs *FS) segmentsLive(f *File, off, n int64) ([]sim.Part, []*ost, []ioengin
 // transferStriped runs the striped parallel transfer for parts while
 // charging the per-OST observability counters around it.
 func (fs *FS) transferStriped(p *sim.Proc, parts []sim.Part, osts []*ost, write bool) {
-	if fs.obs != nil {
-		for i, o := range osts {
+	for i, o := range osts {
+		o.depth++
+		if fs.obs != nil {
 			o.requests.Inc()
 			if write {
 				o.writeBytes.Add(parts[i].Bytes)
@@ -382,11 +389,27 @@ func (fs *FS) transferStriped(p *sim.Proc, parts []sim.Part, osts []*ost, write 
 		}
 	}
 	p.TransferAll(parts...)
-	if fs.obs != nil {
-		for _, o := range osts {
+	for _, o := range osts {
+		o.depth--
+		if fs.obs != nil {
 			o.queueDepth.Add(-1)
 		}
 	}
+}
+
+// MeanQueueDepth returns the current average in-flight striped-transfer
+// count across all OSTs — the congestion signal cost-aware cache
+// policies weigh. Identical with and without an attached registry, and
+// deterministic because it is only sampled from kernel context.
+func (fs *FS) MeanQueueDepth() float64 {
+	if len(fs.osts) == 0 {
+		return 0
+	}
+	total := 0
+	for _, o := range fs.osts {
+		total += o.depth
+	}
+	return float64(total) / float64(len(fs.osts))
 }
 
 // accessSpan opens a span for one simulated file access under the

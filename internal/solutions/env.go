@@ -22,6 +22,7 @@ import (
 	"scidp/internal/cluster"
 	"scidp/internal/core"
 	"scidp/internal/hdfs"
+	"scidp/internal/ioengine"
 	"scidp/internal/mapreduce"
 	"scidp/internal/obs"
 	"scidp/internal/pfs"
@@ -120,6 +121,10 @@ type EnvConfig struct {
 	// ReadRetry is the PFS Reader recovery policy handed to SciDP input
 	// formats (zero = fail fast).
 	ReadRetry core.RetryPolicy
+	// CacheTier, when enabled (NodeBytes > 0), provisions each Hadoop
+	// node with a burst buffer and builds the cluster-wide cooperative
+	// cache every PFS and HDFS read in this env consults.
+	CacheTier ioengine.TierConfig
 	// Workers sizes the data-plane compute pool attached to the kernel:
 	// 0 leaves the data plane off (all byte work runs inline on the
 	// kernel thread, the pre-two-plane behavior), N > 0 attaches a pool
@@ -173,6 +178,10 @@ type Env struct {
 	// Chaos is the armed fault injector (nil when no plan was given).
 	// It doubles as every job's TaskFaults source via Faults().
 	Chaos *chaos.Injector
+	// Tier is the cooperative cache tier over the BD nodes' burst
+	// buffers (nil when Cfg.CacheTier is disabled). Shared by every job
+	// and tenant of this env.
+	Tier *ioengine.Tier
 
 	// pool is the data-plane worker pool (nil when Workers == 0).
 	pool *sim.ComputePool
@@ -240,7 +249,9 @@ func NewEnv(cfg EnvConfig) *Env {
 	}
 	k := sim.NewKernel()
 	k.SetFairShareMode(cfg.FairShare)
-	bd := cluster.New(k, "bd", cluster.DefaultHardware(cfg.Nodes, cfg.SlotsPerNode).Scaled(cfg.ByteScale))
+	bdCfg := cluster.DefaultHardware(cfg.Nodes, cfg.SlotsPerNode).Scaled(cfg.ByteScale)
+	bdCfg.BurstBufferBytes = cfg.CacheTier.NodeBytes
+	bd := cluster.New(k, "bd", bdCfg)
 	pcfg := pfs.DefaultConfig().Scaled(cfg.ByteScale)
 	pfsFS := pfs.New(k, pcfg)
 	hcfg := hdfs.DefaultConfig()
@@ -262,11 +273,18 @@ func NewEnv(cfg EnvConfig) *Env {
 		Registry: scifmt.Default(),
 		Cfg:      cfg,
 	}
+	if cfg.CacheTier.Enabled() {
+		env.Tier = ioengine.NewTier(cfg.CacheTier, bd, pfsFS.MeanQueueDepth)
+		for _, n := range bd.Nodes {
+			env.Tier.Register(n.Name, n.BurstBufferBytes)
+		}
+	}
 	if cfg.Obs != nil {
 		env.Obs = cfg.Obs
 		k.SetObs(cfg.Obs)
 		pfsFS.SetObs(cfg.Obs)
 		hfs.SetObs(cfg.Obs)
+		env.Tier.RegisterObs(cfg.Obs)
 		env.Tracer = &sim.Tracer{}
 		k.SetTracer(env.Tracer)
 	}

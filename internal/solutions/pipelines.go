@@ -417,6 +417,10 @@ func RunSciDPWith(p *sim.Proc, env *Env, wl *Workload, opts SciDPOptions) (*Repo
 	mapping, err := mapper.MapPath(p, env.Mount(env.BD.Node(0)), wl.Dataset.Spec.Dir, core.MapOptions{
 		Vars:         []string{wl.Var},
 		RowsPerBlock: rows,
+		// Mirror only the files this workload reads: a workload whose
+		// Dataset.Files is a window of the generated directory gets a
+		// window-sized job (the full list reproduces the full mirror).
+		Paths: wl.Dataset.Files,
 	})
 	if err != nil {
 		return nil, err
@@ -429,6 +433,7 @@ func RunSciDPWith(p *sim.Proc, env *Env, wl *Workload, opts SciDPOptions) (*Repo
 		},
 		Engine: opts.Engine,
 		Caches: opts.Caches,
+		Tier:   env.Tier,
 		Obs:    env.Obs,
 		Retry:  env.Cfg.ReadRetry,
 	}

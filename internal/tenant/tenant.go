@@ -255,7 +255,7 @@ func New(env *solutions.Env, cfg Config) *Service {
 		env:        env,
 		cfg:        cfg.withDefaults(totalSlots),
 		obs:        env.Obs,
-		be:         &workloads.HDFSBackend{FS: env.HDFS},
+		be:         &workloads.HDFSBackend{FS: env.HDFS, Tier: env.Tier},
 		totalSlots: totalSlots,
 		tenants:    map[string]*Tenant{},
 	}

@@ -7,6 +7,7 @@ import (
 
 	"scidp/internal/cluster"
 	"scidp/internal/hdfs"
+	"scidp/internal/ioengine"
 	"scidp/internal/mapreduce"
 	"scidp/internal/pfs"
 	"scidp/internal/sim"
@@ -36,6 +37,9 @@ type Backend interface {
 type HDFSBackend struct {
 	// FS is the file system.
 	FS *hdfs.FS
+	// Tier, when non-nil, is the cooperative cache tier block reads
+	// consult before HDFS — the cross-job/cross-tenant reuse path.
+	Tier *ioengine.Tier
 }
 
 // Name implements Backend.
@@ -61,11 +65,12 @@ func (b *HDFSBackend) Read(p *sim.Proc, node *cluster.Node, path string) ([]byte
 // Input implements Backend: one split per HDFS block, located at its
 // replicas so the scheduler reads locally.
 func (b *HDFSBackend) Input(paths []string, splitSize int64) mapreduce.InputFormat {
-	return &hdfsBlockInput{fs: b.FS, paths: paths}
+	return &hdfsBlockInput{fs: b.FS, tier: b.Tier, paths: paths}
 }
 
 type hdfsBlockInput struct {
 	fs    *hdfs.FS
+	tier  *ioengine.Tier
 	paths []string
 }
 
@@ -91,8 +96,20 @@ func (in *hdfsBlockInput) Splits(p *sim.Proc) ([]*mapreduce.Split, error) {
 func (in *hdfsBlockInput) ForEach(tc *mapreduce.TaskContext, s *mapreduce.Split, fn func(key string, value any) error) error {
 	var data []byte
 	var err error
+	key := "hdfs#" + s.Label
 	tc.Phase("Read", func() {
+		// Tier entries are shared read-only, but workload tasks mutate
+		// their block bytes in place (sort), so both directions copy.
+		if v, ok := in.tier.Read(tc.Proc(), tc.Node().Name, key); ok {
+			data = append([]byte(nil), v...)
+			return
+		}
 		data, err = in.fs.ReadBlock(tc.Proc(), tc.Node(), s.Payload.(*hdfs.Block))
+		if err == nil {
+			in.tier.MissOST(int64(len(data)))
+			in.tier.Admit(tc.Proc(), tc.Node().Name, key,
+				append([]byte(nil), data...), int64(len(data)))
+		}
 	})
 	if err != nil {
 		return err
